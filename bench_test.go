@@ -1,0 +1,354 @@
+// Package repro's root benchmarks regenerate each paper artifact at a
+// benchmark-friendly scale and report the headline quality metric
+// (coverage, program length) through b.ReportMetric alongside timing.
+// The full paper-scale runs live in cmd/experiments.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/atpg"
+	"repro/internal/bist"
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/metrics"
+	"repro/internal/selftest"
+	"repro/internal/simpledsp"
+)
+
+var (
+	fixOnce sync.Once
+	fixCore *dspgate.Core
+	fixProg *selftest.Program
+	fixRep  *selftest.Report
+)
+
+func fixtures(b *testing.B) (*dspgate.Core, *selftest.Program, *selftest.Report) {
+	b.Helper()
+	fixOnce.Do(func() {
+		c, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
+		if err != nil {
+			panic(err)
+		}
+		fixCore = c
+		eng := metrics.NewEngine(metrics.Config{CTrials: 12000, OGoodRuns: 8, Seed: 33})
+		gen := selftest.NewGenerator(eng)
+		fixProg, fixRep = gen.Generate()
+	})
+	return fixCore, fixProg, fixRep
+}
+
+// BenchmarkTable1Metrics regenerates the paper's Table 1 (E1).
+func BenchmarkTable1Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := simpledsp.BuildTable(simpledsp.Config{CTrials: 2000, OGoodRuns: 20, Seed: 9})
+		if len(tab.Rows) != 8 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// BenchmarkTable2MetricsRow measures one Table 2 row (E2; the full
+// 24-row table is the same work ×24).
+func BenchmarkTable2MetricsRow(b *testing.B) {
+	eng := metrics.NewEngine(metrics.Config{CTrials: 2000, OGoodRuns: 4, Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells := eng.MeasureRow(metrics.Row{Op: isa.OpMacP, Acc: isa.AccA, State: metrics.AccRandom})
+		if len(cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+// BenchmarkPhase1Cover runs the greedy covering pass over the metrics
+// table (E3).
+func BenchmarkPhase1Cover(b *testing.B) {
+	_, _, rep := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p1 := selftest.Phase1(rep.Table)
+		if len(p1.Chosen) == 0 {
+			b.Fatal("empty cover")
+		}
+	}
+}
+
+// BenchmarkProgramGeneration runs the full generation flow, metrics
+// table included (E4 / Figure 7).
+func BenchmarkProgramGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := metrics.NewEngine(metrics.Config{CTrials: 4000, OGoodRuns: 4, Seed: 33})
+		prog, _ := selftest.NewGenerator(eng).Generate()
+		b.ReportMetric(float64(prog.Len()), "instrs/loop")
+	}
+}
+
+// BenchmarkFaultCoverageBase fault-simulates the base self-test program
+// for a scaled-down iteration count (E5; paper scale is 6000 iterations).
+func BenchmarkFaultCoverageBase(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 100})
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+		b.ReportMetric(float64(vecs.Len())/float64(b.Elapsed().Seconds()+1e-9)/1e6, "Mvec/s")
+	}
+}
+
+// BenchmarkShifterConstraints runs one constrained-coverage analysis of
+// the standalone shifter (E6 runs the paper's six sets).
+func BenchmarkShifterConstraints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := selftest.ShifterConstraintStudy([]selftest.ConstraintSet{
+			{Label: "ban 01", Modes: []uint8{0, 2, 3}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*results[0].Coverage(), "%coverage")
+	}
+}
+
+// BenchmarkEnhancedProgram expands and simulates the Phase-3
+// frequency-boosted program (E7).
+func BenchmarkEnhancedProgram(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	boosted := selftest.Boost(prog, map[isa.Op]bool{isa.OpShift: true, isa.OpMacP: true}, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs := selftest.Expand(boosted, selftest.ExpandOptions{Iterations: 100})
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+}
+
+// BenchmarkATPGBaseline runs the scaled sequential-ATPG baseline (E8).
+func BenchmarkATPGBaseline(b *testing.B) {
+	core, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bist.SequentialATPG(core.Netlist, 2, 200, 200, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+}
+
+// BenchmarkPseudorandomBIST fault-simulates raw LFSR vectors (E9; paper
+// scale is the full 131,071-vector period).
+func BenchmarkPseudorandomBIST(b *testing.B) {
+	core, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs := bist.PseudorandomVectors(4096, 1)
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+}
+
+// ---- Ablation benches (DESIGN.md "key design choices") ----
+
+// BenchmarkSegmentLength sweeps the fault simulator's drop/repack
+// segment length.
+func BenchmarkSegmentLength(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 60})
+	for _, seg := range []int{64, 256, 1024, 4096} {
+		b.Run(segName(seg), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{SegmentLen: seg}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func segName(seg int) string {
+	switch seg {
+	case 64:
+		return "seg64"
+	case 256:
+		return "seg256"
+	case 1024:
+		return "seg1024"
+	default:
+		return "seg4096"
+	}
+}
+
+// BenchmarkFaultCollapseAblation compares simulating the collapsed list
+// against the raw uncollapsed list.
+func BenchmarkFaultCollapseAblation(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 40})
+	all := fault.AllFaults(core.Netlist)
+	collapsed, _ := fault.Collapse(core.Netlist, all)
+	b.Run("collapsed", func(b *testing.B) {
+		b.ReportMetric(float64(len(collapsed)), "faults")
+		for i := 0; i < b.N; i++ {
+			if _, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{Faults: collapsed}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncollapsed", func(b *testing.B) {
+		b.ReportMetric(float64(len(all)), "faults")
+		for i := 0; i < b.N; i++ {
+			if _, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{Faults: all}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRegMaskAblation compares coverage with and without the LFSR2
+// register-field rotation at equal vector counts (the template
+// architecture's register-group trick).
+func BenchmarkRegMaskAblation(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	for _, disable := range []bool{false, true} {
+		name := "masked"
+		if disable {
+			name = "unmasked"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 100, DisableRegMask: disable})
+				res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				det, tot := res.RegionCoverage(core.Netlist, "RegFile")
+				b.ReportMetric(100*float64(det)/float64(tot), "%regfile")
+				b.ReportMetric(100*res.Coverage(), "%coverage")
+			}
+		})
+	}
+}
+
+// BenchmarkWordSim measures the raw word-parallel simulation rate of the
+// gate-level core (the fault simulator's inner loop).
+func BenchmarkWordSim(b *testing.B) {
+	core, _, _ := fixtures(b)
+	w := logic.NewWordSim(core.Netlist)
+	vecs := bist.PseudorandomVectors(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, v := range vecs {
+			for bit, in := range core.Netlist.Inputs() {
+				w.SetInput(in, v>>uint(bit)&1 == 1)
+			}
+			w.Step()
+		}
+	}
+	b.ReportMetric(float64(256*core.Netlist.NumGates())*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mgate-evals/s")
+}
+
+// BenchmarkIRST fault-simulates the instruction-randomization baseline
+// (E10).
+func BenchmarkIRST(b *testing.B) {
+	core, _, _ := fixtures(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs := bist.IRSTVectors(bist.IRSTOptions{Vectors: 4096, Seed: 1, OutEvery: 6})
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+}
+
+// BenchmarkDiagnose measures cause-effect diagnosis of one failing run.
+func BenchmarkDiagnose(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 20})
+	faults, _ := fault.Collapse(core.Netlist, fault.AllFaults(core.Netlist))
+	observed := fault.FaultTrace(core.Netlist, vecs, faults[123])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cands, err := fault.Diagnose(core.Netlist, vecs, observed, faults)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cands) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkNDetect measures the n-detect quality metric on the base
+// program.
+func BenchmarkNDetect(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 50})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{NDetect: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.NDetectCoverage(5), "%5detect")
+	}
+}
+
+// BenchmarkBridges measures sampled bridging-fault coverage of the base
+// program (serial simulation).
+func BenchmarkBridges(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 5})
+	bridges := fault.RandomBridges(core.Netlist, 20, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det, tot := fault.BridgeCoverage(core.Netlist, vecs, bridges)
+		b.ReportMetric(100*float64(det)/float64(tot), "%coverage")
+	}
+}
+
+// BenchmarkTransitionFaults measures at-speed transition-fault
+// simulation of the base program (E12).
+func BenchmarkTransitionFaults(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := fault.SimulateTransitions(core.Netlist, vecs, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+}
+
+// BenchmarkPODEM measures test generation rate on the core's
+// combinational frame under the full-scan bound.
+func BenchmarkPODEM(b *testing.B) {
+	core, _, _ := fixtures(b)
+	n := core.Netlist
+	scanPIs := append(append([]logic.NetID(nil), n.Inputs()...), n.DFFs()...)
+	faults, _ := fault.Collapse(n, fault.AllFaults(n))
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		f := faults[i%len(faults)]
+		atpg.Generate(n, f, atpg.Options{PIs: scanPIs, MaxBacktracks: 200})
+		done++
+	}
+	_ = done
+}

@@ -1,0 +1,77 @@
+// Command diagnose demonstrates the post-self-test diagnosis flow: it
+// injects a hidden stuck-at fault into the gate-level core, runs the
+// generated self-test program, and — given only the observed failing
+// output trace — ranks candidate faults by cause-effect trace matching.
+// In production the observed trace comes from the tester after a MISR
+// signature mismatch triggers per-cycle capture.
+//
+//	diagnose -iters 60 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/selftest"
+)
+
+func main() {
+	iters := flag.Int("iters", 60, "self-test loop iterations")
+	seed := flag.Int64("seed", 7, "selects the hidden fault")
+	top := flag.Int("top", 5, "candidates to print")
+	flag.Parse()
+
+	core, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
+	if err != nil {
+		fail(err)
+	}
+	eng := metrics.NewEngine(metrics.Config{CTrials: 8000, OGoodRuns: 6, Seed: 1})
+	prog, _ := selftest.NewGenerator(eng).Generate()
+	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: *iters})
+
+	faults, _ := fault.Collapse(core.Netlist, fault.AllFaults(core.Netlist))
+	rng := rand.New(rand.NewSource(*seed))
+	hidden := faults[rng.Intn(len(faults))]
+	fmt.Printf("hidden fault: %s (%s)\n", hidden, core.Netlist.NameOf(hidden.Site))
+
+	observed := fault.FaultTrace(core.Netlist, vecs, hidden)
+	good := fault.GoodTrace(core.Netlist, vecs)
+	failures := 0
+	for i := range observed {
+		if observed[i] != good[i] {
+			failures++
+		}
+	}
+	if failures == 0 {
+		fmt.Println("fault not excited by this test length — increase -iters")
+		return
+	}
+	fmt.Printf("observed %d failing cycles of %d\n", failures, len(observed))
+
+	cands, err := fault.Diagnose(core.Netlist, vecs, observed, faults)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("%d candidates; top %d:\n", len(cands), *top)
+	for i, c := range cands {
+		if i >= *top {
+			break
+		}
+		marker := " "
+		if c.Fault == hidden {
+			marker = "← hidden fault"
+		}
+		fmt.Printf("  %2d. %-16s exact=%-5v matched=%d missed=%d mispredicted=%d  %s\n",
+			i+1, c.Fault, c.ExactMatch, c.MatchedFailures, c.MissedFailures, c.Mispredicts, marker)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "diagnose:", err)
+	os.Exit(1)
+}

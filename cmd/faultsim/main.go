@@ -1,0 +1,100 @@
+// Command faultsim fault-simulates an instruction stream against the
+// gate-level DSP core and reports stuck-at coverage, per-component
+// breakdowns and an optional coverage-vs-vectors curve.
+//
+// The stream comes either from a self-test program file (assembler
+// syntax, looped -iters times through the template architecture) or
+// from the raw pseudorandom-BIST LFSR (-bist).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bist"
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/selftest"
+)
+
+func main() {
+	progPath := flag.String("prog", "", "self-test program file (assembler syntax)")
+	iters := flag.Int("iters", 1000, "loop iterations through the program")
+	useBist := flag.Bool("bist", false, "use raw 17-bit LFSR vectors instead of a program")
+	count := flag.Int("count", bist.FullPeriod, "number of BIST vectors with -bist")
+	curve := flag.Bool("curve", false, "print a coverage-vs-vectors curve")
+	quality := flag.Bool("quality", false, "grade all fault models (stuck-at, n-detect, transition, bridging, path delay)")
+	seed := flag.Int64("seed", 1, "LFSR seed")
+	flag.Parse()
+
+	var vecs fault.Vectors
+	switch {
+	case *useBist:
+		vecs = bist.PseudorandomVectors(*count, uint64(*seed))
+	case *progPath != "":
+		src, err := os.ReadFile(*progPath)
+		if err != nil {
+			fail(err)
+		}
+		prog, err := isa.Assemble(string(src))
+		if err != nil {
+			fail(err)
+		}
+		vecs = selftest.Expand(&selftest.Program{Loop: prog},
+			selftest.ExpandOptions{Iterations: *iters, Seed1: uint64(*seed)})
+	default:
+		fail(fmt.Errorf("need -prog or -bist"))
+	}
+
+	core, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("core: %+v\n", core.Netlist.Stats())
+	fmt.Printf("simulating %d vectors...\n", vecs.Len())
+	if *quality {
+		rep, err := fault.Quality(core.Netlist, vecs, fault.QualityOptions{
+			NDetect:      5,
+			BridgeSample: 50,
+			PathPairs:    200,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(rep)
+		return
+	}
+	res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{
+		Progress: func(cycles, detected, remaining int) {
+			fmt.Printf("\r  %8d cycles  %6d detected  %6d remaining", cycles, detected, remaining)
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nfault coverage: %.2f%% (%d/%d collapsed faults)\n",
+		100*res.Coverage(), res.Detected(), len(res.Faults))
+	fmt.Println("\nper-component coverage:")
+	for _, region := range dspgate.ComponentRegions {
+		det, tot := res.RegionCoverage(core.Netlist, region)
+		if tot == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %6d faults  %6.2f%%\n", region, tot, 100*float64(det)/float64(tot))
+	}
+	if *curve {
+		fmt.Println("\ncoverage vs vectors:")
+		for v := 1024; v <= vecs.Len(); v *= 2 {
+			fmt.Printf("  %8d  %.2f%%\n", v, 100*res.CoverageAt(v))
+		}
+		fmt.Printf("  %8d  %.2f%%\n", vecs.Len(), 100*res.Coverage())
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "faultsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,42 @@
+// Command metrics computes and prints the instruction-level testability
+// metric tables: the paper's Table 1 (simple datapath) and Table 2 (the
+// pipelined DSP core).
+//
+// Usage:
+//
+//	metrics -table 1
+//	metrics -table 2 -ctrials 200000 -ogood 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/metrics"
+	"repro/internal/simpledsp"
+)
+
+func main() {
+	table := flag.Int("table", 2, "which table to compute: 1 (simple datapath) or 2 (DSP core)")
+	ctrials := flag.Int("ctrials", 50000, "controllability trials per row")
+	ogood := flag.Int("ogood", 100, "observability good runs per row (each spawns 2×n injections per component)")
+	seed := flag.Int64("seed", 1, "measurement seed")
+	flag.Parse()
+
+	switch *table {
+	case 1:
+		tab := simpledsp.BuildTable(simpledsp.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
+		fmt.Println("Table 1 — Controllability/Observability metrics, simple DSP datapath (C/O)")
+		fmt.Println(tab.Render())
+	case 2:
+		eng := metrics.NewEngine(metrics.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
+		tab := eng.BuildTable()
+		fmt.Println("Table 2 — Controllability/Observability metrics, pipelined DSP core (C,O; X = covered)")
+		fmt.Printf("thresholds: Cθ=%.2f Oθ=%.2f\n\n", tab.CThreshold, tab.OThreshold)
+		fmt.Println(tab.Render())
+	default:
+		fmt.Fprintf(os.Stderr, "metrics: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,67 @@
+// Command netlist builds the gate-level DSP core (or the Figure-1 toy
+// datapath) and exports it as structural Verilog — the interchange the
+// paper's flow obtains from Design Compiler — along with a statistics
+// and per-component fault-count summary.
+//
+//	netlist -core dsp    > dsp_core.v
+//	netlist -core simple > simple_dsp.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/simpledsp"
+)
+
+func main() {
+	which := flag.String("core", "dsp", "which core to export: dsp or simple")
+	branches := flag.Bool("branches", false, "insert fanout-branch buffers (fault-simulation netlist)")
+	stats := flag.Bool("stats", false, "print statistics to stderr")
+	flag.Parse()
+
+	var n *logic.Netlist
+	var name string
+	var regions []string
+	switch *which {
+	case "dsp":
+		c, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: *branches})
+		if err != nil {
+			fail(err)
+		}
+		n, name, regions = c.Netlist, "dsp_core", dspgate.ComponentRegions
+	case "simple":
+		sn, _, _, _, err := simpledsp.BuildGate()
+		if err != nil {
+			fail(err)
+		}
+		n, name, regions = sn, "simple_dsp", []string{"Mult", "ALU", "Acc"}
+	default:
+		fail(fmt.Errorf("unknown core %q", *which))
+	}
+	if err := logic.WriteVerilog(os.Stdout, n, name); err != nil {
+		fail(err)
+	}
+	if *stats {
+		st := n.Stats()
+		fmt.Fprintf(os.Stderr, "%s: %d nets, %d gates, %d DFFs, %d inputs, %d outputs, %d levels\n",
+			name, st.Nets, st.Gates, st.DFFs, st.Inputs, st.Outputs, st.Levels)
+		collapsed, _ := fault.Collapse(n, fault.AllFaults(n))
+		fmt.Fprintf(os.Stderr, "collapsed stuck-at faults: %d\n", len(collapsed))
+		for _, r := range regions {
+			if fl := fault.RegionFaults(n, r); fl != nil {
+				c, _ := fault.Collapse(n, fl)
+				fmt.Fprintf(os.Stderr, "  %-12s %5d\n", r, len(c))
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "netlist:", err)
+	os.Exit(1)
+}

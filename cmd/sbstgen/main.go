@@ -1,0 +1,39 @@
+// Command sbstgen runs the full self-test program generation flow
+// (metrics table → Phase 1 → Phase 2) and prints the resulting loop in
+// the paper's Figure-7 style, along with the derivation report. With
+// -boost it also prints the Phase-3 frequency-boosted variant.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/selftest"
+)
+
+func main() {
+	ctrials := flag.Int("ctrials", 30000, "controllability trials per metrics row")
+	ogood := flag.Int("ogood", 50, "observability good runs per metrics row")
+	seed := flag.Int64("seed", 1, "measurement seed")
+	boost := flag.Bool("boost", false, "also print the Phase-3 frequency-boosted program")
+	flag.Parse()
+
+	eng := metrics.NewEngine(metrics.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
+	gen := selftest.NewGenerator(eng)
+	prog, report := gen.Generate()
+
+	fmt.Println("// Self-test program (loop body) — cf. paper Figure 7")
+	fmt.Print(prog)
+	fmt.Printf("\n%d instructions per iteration\n\n", prog.Len())
+	fmt.Println(report.Summary())
+
+	if *boost {
+		boosted := selftest.Boost(prog,
+			map[isa.Op]bool{isa.OpShift: true, isa.OpMacP: true, isa.OpMacM: true}, 1)
+		fmt.Println("// Phase-3 frequency-boosted program")
+		fmt.Print(boosted)
+		fmt.Printf("\n%d instructions per iteration\n", boosted.Len())
+	}
+}

@@ -1,0 +1,66 @@
+// Custom core: apply the methodology's building blocks to your own
+// datapath. This example uses the Figure-1 toy datapath: it builds the
+// gate-level circuit, writes two candidate test schedules by hand —
+// one that the Table-1 metrics endorse and one they warn against — and
+// shows the fault-coverage gap the metrics predicted.
+//
+//	go run ./examples/custom_core
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fault"
+	"repro/internal/lfsr"
+	"repro/internal/simpledsp"
+)
+
+func main() {
+	// Metrics first: which instructions can test the multiplier?
+	tab := simpledsp.BuildTable(simpledsp.Config{CTrials: 6000, OGoodRuns: 50, Seed: 9})
+	fmt.Println(tab.Render())
+	fmt.Println("Table 1 says Clr rows have Mult O=0.00: a Clr-heavy schedule cannot")
+	fmt.Println("expose multiplier faults. Check that prediction at the gate level:")
+
+	n, aBus, bBus, opBus, err := simpledsp.BuildGate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two schedules, equal length: mixed Add/Sub/Mac vs Clr-dominated.
+	const cycles = 4096
+	mixed := schedule(cycles, []simpledsp.Op{simpledsp.OpAdd, simpledsp.OpSub, simpledsp.OpMac})
+	clrOnly := schedule(cycles, []simpledsp.Op{simpledsp.OpClr})
+
+	for _, tc := range []struct {
+		name string
+		vecs fault.Vectors
+	}{{"mixed Add/Sub/Mac", mixed}, {"Clr-only", clrOnly}} {
+		res, err := fault.Simulate(n, tc.vecs, fault.SimOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mdet, mtot := res.RegionCoverage(n, "Mult")
+		fmt.Printf("  %-18s overall %6.2f%%   multiplier %6.2f%% (%d/%d)\n",
+			tc.name, 100*res.Coverage(), 100*float64(mdet)/float64(mtot), mdet, mtot)
+	}
+	fmt.Println("\nthe metric-endorsed schedule tests the multiplier; the Clr-only one")
+	fmt.Println("leaves it dark — exactly what the O=0.00 cells predicted.")
+	_ = aBus
+	_ = bBus
+	_ = opBus
+}
+
+// schedule builds a vector stream cycling through ops with pseudorandom
+// operands. Input packing follows BuildGate: a[0:8], b[8:16], op[16:18].
+func schedule(cycles int, ops []simpledsp.Op) fault.Vectors {
+	l := lfsr.MustNew(16, 1)
+	vecs := make(fault.Vectors, cycles)
+	for i := range vecs {
+		operands := l.NextBits(5)
+		op := ops[i%len(ops)]
+		vecs[i] = operands&0xFFFF | uint64(op)<<16
+	}
+	return vecs
+}

@@ -1,0 +1,136 @@
+// FIR filter: the functional workload the paper's introduction motivates
+// — run an actual 4-tap FIR filter on the DSP core using its MAC
+// instruction set, validate it against a reference model, and then show
+// that the very same core and instruction set carry the self-test
+// program. No test hardware beyond the LFSRs/MISR is ever added.
+//
+//	go run ./examples/fir_filter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/isa"
+)
+
+// Coefficients in 4.4 fixed point: a small low-pass kernel
+// (0.25, 0.5, 0.5, 0.25).
+var taps = []int8{0x04, 0x08, 0x08, 0x04}
+
+// Register plan: R1..R4 hold the taps, R5..R8 the sample window
+// (R5 newest), R10 the MAC result, R12 the input staging register.
+const (
+	regTap0 = 1
+	regX0   = 5
+	regY    = 10
+	regIn   = 12
+)
+
+func main() {
+	// Input: a step plus a sine burst, quantized to 4.4.
+	var samples []int8
+	for i := 0; i < 24; i++ {
+		v := 2.0 * math.Sin(float64(i)*0.7)
+		if i >= 12 {
+			v += 1.5
+		}
+		samples = append(samples, int8(math.Round(v*16)))
+	}
+
+	core := dsp.New()
+	run := func(prog []isa.Instr) {
+		for _, in := range prog {
+			core.StepInstr(in)
+		}
+	}
+
+	// Load coefficients once.
+	var setup []isa.Instr
+	for k, h := range taps {
+		setup = append(setup, isa.Instr{Op: isa.OpLdi, Imm: uint8(h), RD: uint8(regTap0 + k)})
+	}
+	setup = append(setup, nop(), nop(), nop())
+	run(setup)
+
+	fmt.Println("  n   x[n]    core y[n]   reference   |err|")
+	maxErr := 0.0
+	for n, x := range samples {
+		run(samplePacket(x))
+		got := fixToFloat(int8(core.Reg(regY)))
+		want := reference(samples, n)
+		err := math.Abs(got - want)
+		if err > maxErr {
+			maxErr = err
+		}
+		fmt.Printf("%3d  %6.3f   %9.4f   %9.4f   %.4f\n",
+			n, fixToFloat(x), got, want, err)
+	}
+	// The core computes in 4.4 throughout, so the only error source is
+	// the per-output quantization of the limiter (≤ 1/16 per tap sum).
+	if maxErr > 0.25 {
+		log.Fatalf("FIR output error %.4f too large", maxErr)
+	}
+	fmt.Printf("\nmax |error| = %.4f (4.4 quantization only) — the DSP core is a working FIR engine,\n", maxErr)
+	fmt.Println("and the same MAC/SHIFT/LD/OUT instructions carry the self-test program")
+	fmt.Println("(see examples/quickstart and examples/online_selftest).")
+}
+
+// samplePacket emits the straight-line instruction packet for one input
+// sample: slide the window, inject the sample, and run the 4-tap MAC
+// chain. NOPs respect the pipeline's exposed delay slot (a consumer must
+// trail its producer by two instructions).
+func samplePacket(x int8) []isa.Instr {
+	var p []isa.Instr
+	// Slide window oldest-first: R8←R7, R7←R6, R6←R5.
+	for k := 3; k >= 1; k-- {
+		p = append(p, isa.Instr{Op: isa.OpMov, Src: uint8(regX0 + k - 1), RD: uint8(regX0 + k)})
+	}
+	// Inject the new sample (via the staging register to show a
+	// realistic input path; LD→MOV obeys the delay slot naturally).
+	p = append(p,
+		isa.Instr{Op: isa.OpLdi, Imm: uint8(x), RD: regIn},
+		nop(),
+		isa.Instr{Op: isa.OpMov, Src: regIn, RD: regX0},
+		nop(), nop(),
+	)
+	// MAC chain: acc = h0·x0; acc += hk·xk; result register gets the
+	// limited accumulator at each step — the last one is y[n].
+	p = append(p, isa.Instr{Op: isa.OpMpy, Acc: isa.AccA, RA: regTap0, RB: regX0, RD: regY})
+	for k := 1; k < len(taps); k++ {
+		p = append(p, isa.Instr{
+			Op: isa.OpMacP, Acc: isa.AccA,
+			RA: uint8(regTap0 + k), RB: uint8(regX0 + k), RD: regY,
+		})
+	}
+	// Drain so y[n] is architecturally visible before the next packet.
+	p = append(p, nop(), nop(), nop())
+	return p
+}
+
+func nop() isa.Instr { return isa.Instr{Op: isa.OpNop} }
+
+// reference computes y[n] the way the core does: every partial product
+// and accumulation in exact integer arithmetic on 4.4/8.8 values, with
+// the final limiter quantization to 4.4.
+func reference(samples []int8, n int) float64 {
+	acc := 0 // 8.8
+	for k := 0; k < len(taps); k++ {
+		if n-k < 0 {
+			continue
+		}
+		acc += int(taps[k]) * int(samples[n-k])
+	}
+	y := acc >> 4 // 8.8 → 4.4 (the limiter window)
+	if y > 127 {
+		y = 127
+	}
+	if y < -128 {
+		y = -128
+	}
+	return float64(y) / 16
+}
+
+func fixToFloat(v int8) float64 { return float64(v) / 16 }

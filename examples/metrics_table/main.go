@@ -1,0 +1,49 @@
+// Metrics tables: reproduce the paper's Table 1 (simple datapath) and a
+// slice of Table 2 (DSP core), showing how the entropy-based
+// controllability metric and the injection-based observability metric
+// expose which instructions can test which components.
+//
+//	go run ./examples/metrics_table
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/simpledsp"
+)
+
+func main() {
+	fmt.Println("=== Table 1: simple datapath (Figure 1) ===")
+	fmt.Println("cells are C/O; blank = instruction never exercises that ALU mode")
+	tab1 := simpledsp.BuildTable(simpledsp.Config{CTrials: 8000, OGoodRuns: 60, Seed: 9})
+	fmt.Println(tab1.Render())
+	fmt.Println("note the paper's signature: Clr rows zero the multiplier's observability —")
+	fmt.Println("the cleared ALU swallows any multiplier error.")
+
+	fmt.Println("\n=== Table 2 slice: DSP core ===")
+	eng := metrics.NewEngine(metrics.Config{CTrials: 40000, OGoodRuns: 20, Seed: 1})
+	rows := []metrics.Row{
+		{Name: "load", Op: isa.OpLdi, Acc: isa.AccA, State: metrics.AccZero},
+		{Name: "loadR", Op: isa.OpLdi, Acc: isa.AccA, State: metrics.AccRandom},
+		{Name: "mpy", Op: isa.OpMpy, Acc: isa.AccA, State: metrics.AccZero},
+		{Name: "Mac+R", Op: isa.OpMacP, Acc: isa.AccA, State: metrics.AccRandom},
+		{Name: "shiftR", Op: isa.OpShift, Acc: isa.AccA, State: metrics.AccRandom},
+	}
+	cols := metrics.StandardColumns()
+	tab := &metrics.Table{
+		Rows: rows, Cols: cols, Cells: make([][]metrics.Cell, len(rows)),
+		CThreshold: 0.70, OThreshold: 0.50,
+	}
+	for i, r := range rows {
+		fmt.Printf("measuring %s...\n", r.Name)
+		tab.Cells[i] = eng.MeasureRow(r)
+	}
+	fmt.Println()
+	fmt.Println(tab.Render())
+	fmt.Println("read it like the paper does: 'load' gives the shifter pass-mode only")
+	fmt.Println("C=0.18 (4 random amount bits over a 22-bit input) until the accumulator")
+	fmt.Println("holds a random value, and no single instruction observes the accumulators")
+	fmt.Println("(O=0.00) — that is exactly what Phase 2's SHIFT+OUT sequences fix.")
+}

@@ -1,0 +1,81 @@
+package atpg
+
+import "repro/internal/logic"
+
+// Cube is a partial input assignment (a test cube): PIs absent from the
+// map are don't-cares. PODEM's Result.Assignment is a Cube.
+type Cube map[logic.NetID]bool
+
+// Compatible reports whether two cubes agree on every PI both assign —
+// the condition under which one merged test can serve both.
+func (c Cube) Compatible(d Cube) bool {
+	// Iterate over the smaller map.
+	if len(d) < len(c) {
+		c, d = d, c
+	}
+	for pi, v := range c {
+		if w, ok := d[pi]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the union of two compatible cubes.
+func (c Cube) Merge(d Cube) Cube {
+	out := make(Cube, len(c)+len(d))
+	for pi, v := range c {
+		out[pi] = v
+	}
+	for pi, v := range d {
+		out[pi] = v
+	}
+	return out
+}
+
+// CompactCubes performs greedy static compaction: cubes are merged into
+// the first compatible slot, first-fit over the list — the standard way
+// a full-scan test set shrinks after per-fault ATPG. Returns the merged
+// cubes and, for each input cube, the index of the merged test serving
+// it.
+func CompactCubes(cubes []Cube) (merged []Cube, assignment []int) {
+	assignment = make([]int, len(cubes))
+	for i, cube := range cubes {
+		placed := -1
+		for j, slot := range merged {
+			if slot.Compatible(cube) {
+				merged[j] = slot.Merge(cube)
+				placed = j
+				break
+			}
+		}
+		if placed < 0 {
+			merged = append(merged, cube.Merge(nil))
+			placed = len(merged) - 1
+		}
+		assignment[i] = placed
+	}
+	return merged, assignment
+}
+
+// FillCubes completes don't-care inputs with values from fill (e.g. an
+// LFSR stream), producing concrete vectors over the given PI order.
+func FillCubes(cubes []Cube, pis []logic.NetID, fill func(i int) bool) []uint64 {
+	vecs := make([]uint64, len(cubes))
+	draw := 0
+	for ci, cube := range cubes {
+		var word uint64
+		for b, pi := range pis {
+			v, ok := cube[pi]
+			if !ok {
+				v = fill(draw)
+				draw++
+			}
+			if v {
+				word |= 1 << uint(b)
+			}
+		}
+		vecs[ci] = word
+	}
+	return vecs
+}

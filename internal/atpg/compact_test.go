@@ -1,0 +1,101 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+func TestCubeCompatibleMerge(t *testing.T) {
+	a := Cube{1: true, 2: false}
+	b := Cube{2: false, 3: true}
+	c := Cube{1: false}
+	if !a.Compatible(b) || !b.Compatible(a) {
+		t.Fatal("a,b should be compatible")
+	}
+	if a.Compatible(c) || c.Compatible(a) {
+		t.Fatal("a,c conflict on PI 1")
+	}
+	m := a.Merge(b)
+	if len(m) != 3 || !m[1] || m[2] || !m[3] {
+		t.Fatalf("merge = %v", m)
+	}
+	// Merge must not alias the inputs.
+	m[9] = true
+	if _, ok := a[9]; ok {
+		t.Fatal("merge aliased input cube")
+	}
+}
+
+func TestCompactCubes(t *testing.T) {
+	cubes := []Cube{
+		{1: true},
+		{2: true},            // compatible with #0 → merges
+		{1: false},           // conflicts → new slot
+		{1: true, 2: true},   // compatible with slot 0
+		{1: false, 3: false}, // compatible with slot 1
+	}
+	merged, assign := CompactCubes(cubes)
+	if len(merged) != 2 {
+		t.Fatalf("merged into %d slots, want 2: %v", len(merged), merged)
+	}
+	for i, cube := range cubes {
+		slot := merged[assign[i]]
+		for pi, v := range cube {
+			if slot[pi] != v {
+				t.Fatalf("cube %d not honored by slot %d", i, assign[i])
+			}
+		}
+	}
+}
+
+// TestCompactionPreservesDetection generates per-fault tests for the
+// adder with PODEM, compacts them, and verifies the compacted set still
+// detects every originally-detected fault.
+func TestCompactionPreservesDetection(t *testing.T) {
+	n := buildAdder(t)
+	faults, _ := fault.Collapse(n, fault.AllFaults(n))
+	var cubes []Cube
+	var covered []fault.Fault
+	for _, f := range faults {
+		res := Generate(n, f, Options{MaxBacktracks: 3000})
+		if res.Status == Detected {
+			cubes = append(cubes, Cube(res.Assignment))
+			covered = append(covered, f)
+		}
+	}
+	merged, _ := CompactCubes(cubes)
+	if len(merged) >= len(cubes) {
+		t.Fatalf("compaction did not shrink: %d -> %d", len(cubes), len(merged))
+	}
+	t.Logf("compaction: %d per-fault cubes -> %d tests", len(cubes), len(merged))
+
+	vecs := FillCubes(merged, n.Inputs(), func(i int) bool { return i%3 == 0 })
+	sim, err := fault.Simulate(n, fault.Vectors(vecs), fault.SimOptions{Faults: covered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Detected() != len(covered) {
+		t.Fatalf("compacted set detects %d of %d", sim.Detected(), len(covered))
+	}
+}
+
+func TestFillCubes(t *testing.T) {
+	b := logic.NewBuilder()
+	ins := b.InputBus("in", 4)
+	b.MarkOutput(b.And(ins...), "y")
+	n, err := b.Build(logic.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cubes := []Cube{{ins[0]: true, ins[2]: true}}
+	vecs := FillCubes(cubes, n.Inputs(), func(i int) bool { return false })
+	if vecs[0] != 0b0101 {
+		t.Fatalf("filled vector %04b", vecs[0])
+	}
+	vecs = FillCubes(cubes, n.Inputs(), func(i int) bool { return true })
+	if vecs[0] != 0b1111 {
+		t.Fatalf("filled vector %04b", vecs[0])
+	}
+}

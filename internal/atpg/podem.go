@@ -1,0 +1,562 @@
+// Package atpg implements combinational test pattern generation with
+// the PODEM algorithm over a five-valued calculus (0, 1, X, D, D̄), plus
+// bounded time-frame unrolling for sequential targets.
+//
+// Three consumers in this repository:
+//   - the Phase-3 "random resistant patterns" top-up, which runs PODEM on
+//     the core's combinational frame with the execute-stage operand
+//     registers as decision inputs;
+//   - the control-bit constraint study (paper Section 3.4), which runs
+//     PODEM on a standalone component with its mode bits fixed;
+//   - the sequential-ATPG baseline (paper Section 3.5), which unrolls the
+//     core a few time frames and demonstrates why gate-level sequential
+//     ATPG collapses on a pipelined core.
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// Value is the five-valued PODEM calculus. D means good-machine 1 /
+// faulty-machine 0; DB the reverse.
+type Value uint8
+
+// Calculus values.
+const (
+	VX Value = iota
+	V0
+	V1
+	VD
+	VDB
+)
+
+// String renders the conventional symbol.
+func (v Value) String() string {
+	switch v {
+	case V0:
+		return "0"
+	case V1:
+		return "1"
+	case VD:
+		return "D"
+	case VDB:
+		return "D'"
+	}
+	return "X"
+}
+
+func (v Value) known() bool { return v == V0 || v == V1 }
+func (v Value) hasD() bool  { return v == VD || v == VDB }
+func (v Value) good() Value { // good-machine projection
+	switch v {
+	case VD:
+		return V1
+	case VDB:
+		return V0
+	}
+	return v
+}
+func (v Value) bad() Value { // faulty-machine projection
+	switch v {
+	case VD:
+		return V0
+	case VDB:
+		return V1
+	}
+	return v
+}
+
+func fromBool(b bool) Value {
+	if b {
+		return V1
+	}
+	return V0
+}
+
+// compose builds the composite value from good/faulty projections.
+func compose(good, bad Value) Value {
+	if good == VX || bad == VX {
+		return VX
+	}
+	if good == bad {
+		return good
+	}
+	if good == V1 {
+		return VD
+	}
+	return VDB
+}
+
+func not(v Value) Value {
+	switch v {
+	case V0:
+		return V1
+	case V1:
+		return V0
+	case VD:
+		return VDB
+	case VDB:
+		return VD
+	}
+	return VX
+}
+
+// andV implements five-valued AND.
+func andV(a, b Value) Value {
+	if a == V0 || b == V0 {
+		return V0
+	}
+	if a == V1 {
+		return b
+	}
+	if b == V1 {
+		return a
+	}
+	if a == VX || b == VX {
+		return VX
+	}
+	if a == b {
+		return a
+	}
+	return V0 // D AND D' = 0
+}
+
+func orV(a, b Value) Value { return not(andV(not(a), not(b))) }
+
+func xorV(a, b Value) Value {
+	if a == VX || b == VX {
+		return VX
+	}
+	return compose(xor2(a.good(), b.good()), xor2(a.bad(), b.bad()))
+}
+
+func xor2(a, b Value) Value {
+	if a == b {
+		return V0
+	}
+	return V1
+}
+
+// Status classifies a PODEM run.
+type Status uint8
+
+// Run outcomes.
+const (
+	// Detected: a test was found; Result.Assignment holds it.
+	Detected Status = iota
+	// Untestable: the search space was exhausted — no test exists under
+	// the given inputs, constraints and observation points.
+	Untestable
+	// Aborted: the backtrack limit was hit before a conclusion.
+	Aborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Detected:
+		return "detected"
+	case Untestable:
+		return "untestable"
+	}
+	return "aborted"
+}
+
+// Options configure a PODEM run.
+type Options struct {
+	// PIs are the nets PODEM may assign. They must be sources of the
+	// combinational frame (primary inputs or DFF Q nets). Empty means
+	// all primary inputs.
+	PIs []logic.NetID
+	// Fixed pre-assigns constant values (constraints); fixed nets are
+	// never decided or backtraced through.
+	Fixed map[logic.NetID]bool
+	// Observe lists the nets where a D/D̄ arrival counts as detection.
+	// Empty means the netlist's primary outputs.
+	Observe []logic.NetID
+	// MaxBacktracks bounds the search (default 2000).
+	MaxBacktracks int
+	// ExtraSites injects the same fault at additional nets (used by
+	// time-frame unrolling, where one physical fault appears once per
+	// frame).
+	ExtraSites []logic.NetID
+}
+
+// Result reports a PODEM run.
+type Result struct {
+	Status Status
+	// Assignment holds the PI values of the found test (unassigned PIs
+	// are don't-cares and absent).
+	Assignment map[logic.NetID]bool
+	Backtracks int
+}
+
+type podem struct {
+	n       *logic.Netlist
+	vals    []Value
+	isPI    []bool
+	isFixed []bool
+	sites   []logic.NetID
+	siteSet []bool
+	sa1     bool
+	observe []logic.NetID
+	// reach[net] reports whether an assignable PI lies in the net's
+	// input cone (computed once; guides backtrace away from dead paths).
+	reach  []bool
+	assign map[logic.NetID]bool
+	maxBT  int
+	bts    int
+}
+
+// Generate runs PODEM for one stuck-at fault.
+func Generate(n *logic.Netlist, f fault.Fault, opts Options) Result {
+	p := &podem{
+		n:       n,
+		vals:    make([]Value, n.NumNets()),
+		isPI:    make([]bool, n.NumNets()),
+		isFixed: make([]bool, n.NumNets()),
+		siteSet: make([]bool, n.NumNets()),
+		sa1:     f.SA1,
+		assign:  map[logic.NetID]bool{},
+		maxBT:   opts.MaxBacktracks,
+	}
+	if p.maxBT <= 0 {
+		p.maxBT = 2000
+	}
+	pis := opts.PIs
+	if len(pis) == 0 {
+		pis = n.Inputs()
+	}
+	for _, pi := range pis {
+		if _, fixed := opts.Fixed[pi]; !fixed {
+			p.isPI[pi] = true
+		}
+	}
+	for net, v := range opts.Fixed {
+		p.isFixed[net] = true
+		p.vals[net] = fromBool(v)
+	}
+	p.sites = append([]logic.NetID{f.Site}, opts.ExtraSites...)
+	for _, s := range p.sites {
+		p.siteSet[s] = true
+	}
+	p.observe = opts.Observe
+	if len(p.observe) == 0 {
+		p.observe = n.Outputs()
+	}
+	p.computeReach()
+	p.imply()
+	st := p.search()
+	res := Result{Status: st, Backtracks: p.bts}
+	if st == Detected {
+		res.Assignment = p.assign
+	}
+	return res
+}
+
+func (p *podem) computeReach() {
+	p.reach = make([]bool, p.n.NumNets())
+	for id := 0; id < p.n.NumNets(); id++ {
+		net := logic.NetID(id)
+		if p.isPI[net] {
+			p.reach[net] = true
+		}
+	}
+	for _, id := range p.n.CombOrder() {
+		g := p.n.Gate(id)
+		for _, in := range g.In {
+			if p.reach[in] {
+				p.reach[id] = true
+				break
+			}
+		}
+	}
+}
+
+// imply fully re-evaluates the frame under the current assignment,
+// injecting the fault at every site.
+func (p *podem) imply() {
+	n := p.n
+	for id := 0; id < n.NumNets(); id++ {
+		net := logic.NetID(id)
+		var v Value
+		switch n.Gate(net).Kind {
+		case logic.GateConst0:
+			v = V0
+		case logic.GateConst1:
+			v = V1
+		case logic.GateInput, logic.GateDFF:
+			v = VX
+			if p.isFixed[net] {
+				v = p.vals[net].good()
+			} else if b, ok := p.assign[net]; ok {
+				v = fromBool(b)
+			}
+		default:
+			continue
+		}
+		p.vals[net] = p.site(net, v)
+	}
+	for _, id := range n.CombOrder() {
+		g := n.Gate(id)
+		var v Value
+		switch g.Kind {
+		case logic.GateBuf:
+			v = p.vals[g.In[0]]
+		case logic.GateNot:
+			v = not(p.vals[g.In[0]])
+		case logic.GateAnd, logic.GateNand:
+			v = V1
+			for _, in := range g.In {
+				v = andV(v, p.vals[in])
+			}
+			if g.Kind == logic.GateNand {
+				v = not(v)
+			}
+		case logic.GateOr, logic.GateNor:
+			v = V0
+			for _, in := range g.In {
+				v = orV(v, p.vals[in])
+			}
+			if g.Kind == logic.GateNor {
+				v = not(v)
+			}
+		case logic.GateXor, logic.GateXnor:
+			v = V0
+			for _, in := range g.In {
+				v = xorV(v, p.vals[in])
+			}
+			if g.Kind == logic.GateXnor {
+				v = not(v)
+			}
+		case logic.GateMux2:
+			sel, a, b := p.vals[g.In[0]], p.vals[g.In[1]], p.vals[g.In[2]]
+			v = muxV(sel, a, b)
+		default:
+			panic(fmt.Sprintf("atpg: unexpected gate kind %v in comb order", g.Kind))
+		}
+		p.vals[id] = p.site(id, v)
+	}
+}
+
+// site applies fault injection: the faulty projection is forced to the
+// stuck value while the good projection keeps v's good part.
+func (p *podem) site(net logic.NetID, v Value) Value {
+	if !p.siteSet[net] {
+		return v
+	}
+	return compose(v.good(), fromBool(p.sa1))
+}
+
+func muxV(sel, a, b Value) Value {
+	switch sel {
+	case V0:
+		return a
+	case V1:
+		return b
+	case VX:
+		if a == b && a.known() {
+			return a
+		}
+		return VX
+	}
+	// sel carries a fault effect: project the two machines separately.
+	var g, bad Value
+	if sel.good() == V1 {
+		g = b.good()
+	} else {
+		g = a.good()
+	}
+	if sel.bad() == V1 {
+		bad = b.bad()
+	} else {
+		bad = a.bad()
+	}
+	if g == VX || bad == VX {
+		return VX
+	}
+	return compose(g, bad)
+}
+
+func (p *podem) detected() bool {
+	for _, o := range p.observe {
+		if p.vals[o].hasD() {
+			return true
+		}
+	}
+	return false
+}
+
+// activated reports whether some site carries a D.
+func (p *podem) activated() bool {
+	for _, s := range p.sites {
+		if p.vals[s].hasD() {
+			return true
+		}
+	}
+	return false
+}
+
+// activationImpossible reports whether no site can activate under the
+// current assignment. After injection a site's value is either the stuck
+// value (good machine agrees with the fault: known, no D), a D (good
+// machine differs), or X (good machine undetermined). Activation is
+// impossible exactly when every site is known — i.e. none is D or X.
+func (p *podem) activationImpossible() bool {
+	for _, s := range p.sites {
+		if !p.vals[s].known() {
+			return false
+		}
+	}
+	return true
+}
+
+type decision struct {
+	pi        logic.NetID
+	value     bool
+	triedBoth bool
+}
+
+func (p *podem) search() Status {
+	var stack []decision
+	for {
+		if p.detected() {
+			return Detected
+		}
+		obj, objVal, ok := p.objective()
+		if ok {
+			pi, piVal, found := p.backtrace(obj, objVal)
+			if found {
+				stack = append(stack, decision{pi: pi, value: piVal})
+				p.assign[pi] = piVal
+				p.imply()
+				continue
+			}
+		}
+		// No progress possible: backtrack.
+		for {
+			p.bts++
+			if p.bts > p.maxBT {
+				return Aborted
+			}
+			if len(stack) == 0 {
+				return Untestable
+			}
+			top := &stack[len(stack)-1]
+			if !top.triedBoth {
+				top.triedBoth = true
+				top.value = !top.value
+				p.assign[top.pi] = top.value
+				p.imply()
+				break
+			}
+			delete(p.assign, top.pi)
+			stack = stack[:len(stack)-1]
+			p.imply()
+		}
+	}
+}
+
+// objective picks the next goal: activate the fault, then extend the
+// D-frontier toward an observe point.
+func (p *podem) objective() (logic.NetID, Value, bool) {
+	if !p.activated() {
+		if p.activationImpossible() {
+			return 0, VX, false
+		}
+		for _, s := range p.sites {
+			if p.vals[s] == VX {
+				return s, fromBool(!p.sa1), true
+			}
+		}
+		return 0, VX, false
+	}
+	// D-frontier: gate with X output and a D input, preferring gates
+	// that can reach an observe point (all can, in a connected cone).
+	for _, id := range p.n.CombOrder() {
+		if p.vals[id] != VX {
+			continue
+		}
+		g := p.n.Gate(id)
+		hasD := false
+		for _, in := range g.In {
+			if p.vals[in].hasD() {
+				hasD = true
+				break
+			}
+		}
+		if !hasD {
+			continue
+		}
+		// Pick a controllable X input and the value that unblocks
+		// propagation (an X input with no assignable PI in its cone can
+		// never be set, so that gate is dead for propagation).
+		for pin, in := range g.In {
+			if p.vals[in] != VX || !p.reach[in] {
+				continue
+			}
+			switch g.Kind {
+			case logic.GateAnd, logic.GateNand:
+				return in, V1, true
+			case logic.GateOr, logic.GateNor:
+				return in, V0, true
+			case logic.GateXor, logic.GateXnor:
+				return in, V0, true
+			case logic.GateMux2:
+				if pin == 0 {
+					// Select whichever data input carries the D.
+					if p.vals[g.In[2]].hasD() {
+						return in, V1, true
+					}
+					return in, V0, true
+				}
+				return in, V0, true
+			default:
+				return in, V0, true
+			}
+		}
+	}
+	return 0, VX, false
+}
+
+// backtrace maps an objective to an unassigned PI assignment along a
+// path of X values, inverting the target value through inverting gates.
+func (p *podem) backtrace(net logic.NetID, val Value) (logic.NetID, bool, bool) {
+	for depth := 0; depth < p.n.NumNets(); depth++ {
+		if p.isPI[net] {
+			if _, done := p.assign[net]; done {
+				return 0, false, false
+			}
+			return net, val == V1, true
+		}
+		g := p.n.Gate(net)
+		if g.Kind == logic.GateInput || g.Kind == logic.GateDFF ||
+			g.Kind == logic.GateConst0 || g.Kind == logic.GateConst1 {
+			return 0, false, false // non-assignable source
+		}
+		// Choose an X input whose cone contains an assignable PI.
+		next := logic.InvalidNet
+		for _, in := range g.In {
+			if p.vals[in] == VX && p.reach[in] {
+				next = in
+				break
+			}
+		}
+		if next == logic.InvalidNet {
+			return 0, false, false
+		}
+		switch g.Kind {
+		case logic.GateNot, logic.GateNand, logic.GateNor:
+			val = not(val)
+		case logic.GateXnor:
+			val = not(val)
+		case logic.GateBuf, logic.GateAnd, logic.GateOr, logic.GateXor, logic.GateMux2:
+			// Value preserved (heuristically, for XOR/MUX).
+		}
+		net = next
+	}
+	return 0, false, false
+}

@@ -1,0 +1,137 @@
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Unrolled is a sequential netlist expanded into a purely combinational
+// circuit of k time frames: frame 0's flip-flops hold the reset state
+// (constant 0), frame i>0's flip-flops take frame i−1's D values, and
+// every frame's primary inputs and outputs appear separately.
+type Unrolled struct {
+	Netlist *logic.Netlist
+	// InputAt[f][i] is the frame-f copy of original primary input i.
+	InputAt [][]logic.NetID
+	// OutputAt[f][o] is the frame-f copy of original primary output o.
+	OutputAt [][]logic.NetID
+	// NetAt[f] maps original net IDs to their frame-f copies
+	// (fault-injection sites replicate across all frames).
+	NetAt [][]logic.NetID
+	// Frames is the unroll depth.
+	Frames int
+}
+
+// Unroll expands the sequential netlist into frames combinational time
+// frames. A fault on original net x corresponds to the site list
+// {NetAt[0][x], ..., NetAt[k−1][x]}.
+func Unroll(n *logic.Netlist, frames int) (*Unrolled, error) {
+	if frames < 1 {
+		return nil, fmt.Errorf("atpg: unroll depth %d < 1", frames)
+	}
+	b := logic.NewBuilder()
+	u := &Unrolled{
+		InputAt:  make([][]logic.NetID, frames),
+		OutputAt: make([][]logic.NetID, frames),
+		NetAt:    make([][]logic.NetID, frames),
+		Frames:   frames,
+	}
+	// prevD[q] is the previous frame's copy of the D input net feeding
+	// DFF with Q net q (original IDs).
+	prevD := map[logic.NetID]logic.NetID{}
+	for f := 0; f < frames; f++ {
+		netAt := make([]logic.NetID, n.NumNets())
+		for i := range netAt {
+			netAt[i] = logic.InvalidNet
+		}
+		// Sources first.
+		for id := 0; id < n.NumNets(); id++ {
+			net := logic.NetID(id)
+			switch n.Gate(net).Kind {
+			case logic.GateConst0:
+				netAt[net] = b.Const(false)
+			case logic.GateConst1:
+				netAt[net] = b.Const(true)
+			case logic.GateInput:
+				netAt[net] = b.Input(fmt.Sprintf("f%d_%s", f, n.NameOf(net)))
+			case logic.GateDFF:
+				if f == 0 {
+					// Reset state: buffered constant so the net remains a
+					// distinct fault site.
+					netAt[net] = b.Buf(b.Const(false), fmt.Sprintf("f0_%s", n.NameOf(net)))
+				} else {
+					netAt[net] = b.Buf(prevD[net], fmt.Sprintf("f%d_%s", f, n.NameOf(net)))
+				}
+			}
+		}
+		// Combinational frame in topological order.
+		for _, id := range n.CombOrder() {
+			g := n.Gate(id)
+			ins := make([]logic.NetID, len(g.In))
+			for i, orig := range g.In {
+				ins[i] = netAt[orig]
+				if ins[i] == logic.InvalidNet {
+					return nil, fmt.Errorf("atpg: frame %d: input of net %d unresolved", f, id)
+				}
+			}
+			var out logic.NetID
+			switch g.Kind {
+			case logic.GateBuf:
+				out = b.Buf(ins[0], "")
+			case logic.GateNot:
+				out = b.Not(ins[0])
+			case logic.GateAnd:
+				out = b.And(ins...)
+			case logic.GateOr:
+				out = b.Or(ins...)
+			case logic.GateNand:
+				out = b.Nand(ins...)
+			case logic.GateNor:
+				out = b.Nor(ins...)
+			case logic.GateXor:
+				out = b.Xor(ins...)
+			case logic.GateXnor:
+				out = b.Xnor(ins...)
+			case logic.GateMux2:
+				out = b.Mux2(ins[0], ins[1], ins[2])
+			default:
+				return nil, fmt.Errorf("atpg: unexpected gate kind %v", g.Kind)
+			}
+			netAt[id] = out
+		}
+		// Record this frame's D nets for the next frame's flip-flops.
+		for _, q := range n.DFFs() {
+			d := n.Gate(q).In[0]
+			prevD[q] = netAt[d]
+		}
+		u.NetAt[f] = netAt
+		inputs := make([]logic.NetID, len(n.Inputs()))
+		for i, orig := range n.Inputs() {
+			inputs[i] = netAt[orig]
+		}
+		u.InputAt[f] = inputs
+		outputs := make([]logic.NetID, len(n.Outputs()))
+		for i, orig := range n.Outputs() {
+			outputs[i] = b.MarkOutput(netAt[orig], fmt.Sprintf("f%d_out%d", f, i))
+		}
+		u.OutputAt[f] = outputs
+	}
+	un, err := b.Build(logic.BuildOptions{})
+	if err != nil {
+		return nil, err
+	}
+	u.Netlist = un
+	return u, nil
+}
+
+// Sites returns every frame's copy of the original fault site.
+func (u *Unrolled) Sites(orig logic.NetID) []logic.NetID {
+	sites := make([]logic.NetID, 0, u.Frames)
+	for f := 0; f < u.Frames; f++ {
+		if id := u.NetAt[f][orig]; id != logic.InvalidNet {
+			sites = append(sites, id)
+		}
+	}
+	return sites
+}

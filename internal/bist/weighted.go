@@ -1,0 +1,77 @@
+package bist
+
+import (
+	"repro/internal/fault"
+	"repro/internal/lfsr"
+)
+
+// WeightedOptions configure weighted-random BIST: each input bit is 1
+// with its own probability instead of 1/2, the classical fix for
+// random-resistant structures (wide AND trees, decoders). Weights are
+// quantized to k = Resolution LFSR draws per bit: probability m/2^k is
+// realized by OR/AND-combining draws.
+type WeightedOptions struct {
+	// Vectors is the stream length.
+	Vectors int
+	// Seed seeds the draw LFSR.
+	Seed uint64
+	// Weights[i] is P(input bit i = 1), quantized to multiples of
+	// 1/2^Resolution. Missing entries default to 0.5.
+	Weights []float64
+	// Resolution is the quantization depth (default 3: weights in
+	// eighths).
+	Resolution int
+}
+
+// WeightedVectors generates a weighted pseudorandom stream.
+func WeightedVectors(bits int, opts WeightedOptions) fault.Vectors {
+	res := opts.Resolution
+	if res <= 0 {
+		res = 3
+	}
+	l := lfsr.MustNew(32, opts.Seed|1)
+	// Per-bit thresholds in [0, 2^res].
+	thresholds := make([]uint64, bits)
+	for i := range thresholds {
+		w := 0.5
+		if i < len(opts.Weights) {
+			w = opts.Weights[i]
+		}
+		if w < 0 {
+			w = 0
+		}
+		if w > 1 {
+			w = 1
+		}
+		thresholds[i] = uint64(w*float64(uint64(1)<<uint(res)) + 0.5)
+	}
+	vecs := make(fault.Vectors, opts.Vectors)
+	for v := range vecs {
+		var word uint64
+		for i := 0; i < bits; i++ {
+			draw := l.NextBits(res) & (1<<uint(res) - 1)
+			if draw < thresholds[i] {
+				word |= 1 << uint(i)
+			}
+		}
+		vecs[v] = word
+	}
+	return vecs
+}
+
+// OpcodeWeights returns a weight vector for the DSP core's 17
+// instruction inputs that biases the opcode field toward the assigned
+// encodings' densest region while keeping data fields uniform — a
+// simple, metrics-free improvement over raw LFSR words.
+func OpcodeWeights() []float64 {
+	w := make([]float64, 17)
+	for i := range w {
+		w[i] = 0.5
+	}
+	// Opcode bits [16:12]: the MAC-family block lives in 01000–11001,
+	// so bias the top bits low-ish and keep bit 15 free.
+	w[16] = 0.35
+	w[15] = 0.5
+	w[14] = 0.55
+	return w
+}

@@ -1,0 +1,60 @@
+package bist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeightedVectorsBias(t *testing.T) {
+	weights := []float64{0.0, 0.125, 0.5, 0.875, 1.0}
+	vecs := WeightedVectors(5, WeightedOptions{Vectors: 20000, Seed: 7, Weights: weights})
+	counts := make([]int, 5)
+	for _, v := range vecs {
+		for b := 0; b < 5; b++ {
+			if v>>uint(b)&1 == 1 {
+				counts[b]++
+			}
+		}
+	}
+	for b, w := range weights {
+		got := float64(counts[b]) / float64(len(vecs))
+		if math.Abs(got-w) > 0.02 {
+			t.Errorf("bit %d: P(1) = %.3f, want %.3f", b, got, w)
+		}
+	}
+}
+
+func TestWeightedVectorsDefaults(t *testing.T) {
+	// Missing weights default to 0.5; out-of-range weights clamp.
+	vecs := WeightedVectors(3, WeightedOptions{Vectors: 8000, Seed: 2, Weights: []float64{-1, 2}})
+	counts := make([]int, 3)
+	for _, v := range vecs {
+		for b := 0; b < 3; b++ {
+			if v>>uint(b)&1 == 1 {
+				counts[b]++
+			}
+		}
+	}
+	if counts[0] != 0 {
+		t.Errorf("clamped-0 bit fired %d times", counts[0])
+	}
+	if counts[1] != len(vecs) {
+		t.Errorf("clamped-1 bit fired %d of %d", counts[1], len(vecs))
+	}
+	mid := float64(counts[2]) / float64(len(vecs))
+	if math.Abs(mid-0.5) > 0.03 {
+		t.Errorf("default bit P(1) = %.3f", mid)
+	}
+}
+
+func TestOpcodeWeightsShape(t *testing.T) {
+	w := OpcodeWeights()
+	if len(w) != 17 {
+		t.Fatalf("len = %d", len(w))
+	}
+	for i, v := range w {
+		if v < 0 || v > 1 {
+			t.Fatalf("weight %d = %f", i, v)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+// Package core re-exports the paper's primary contribution — the
+// metrics-driven self-test program generator and template architecture —
+// under the repository's canonical layout. The implementation lives in
+// package selftest; see that package for the phase-by-phase
+// documentation. The supporting substrates are:
+//
+//	internal/logic     gate-level netlists and simulation
+//	internal/synth     structural generators (adders, multiplier, ...)
+//	internal/fault     stuck-at fault model and PROOFS-style simulator
+//	internal/atpg      PODEM and time-frame unrolling
+//	internal/lfsr      LFSRs and the MISR response compactor
+//	internal/isa       the 17-bit DSP instruction set
+//	internal/dsp       the behavioral pipelined core (Figures 4–6)
+//	internal/dspgate   the gate-level core (the fault-simulation target)
+//	internal/metrics   controllability/observability metrics (Table 2)
+//	internal/bist      pseudorandom-BIST and sequential-ATPG baselines
+//	internal/simpledsp the Figure-1 toy datapath (Table 1)
+package core
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/selftest"
+)
+
+// Generator derives self-test programs from instruction-level
+// testability metrics (paper Figure 3).
+type Generator = selftest.Generator
+
+// Program is a self-test program template (run-once prologue + loop).
+type Program = selftest.Program
+
+// Report documents a program's derivation (Tables 2–3, Figure 7).
+type Report = selftest.Report
+
+// ExpandOptions configure template expansion (Figure 2).
+type ExpandOptions = selftest.ExpandOptions
+
+// NewGenerator builds a generator over a metrics engine.
+func NewGenerator(eng *metrics.Engine) *Generator { return selftest.NewGenerator(eng) }
+
+// Expand simulates the template architecture, turning a program into the
+// instruction-word stream the core receives.
+var Expand = selftest.Expand

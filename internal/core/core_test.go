@@ -1,0 +1,25 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestReExports exercises the canonical entry point end to end at tiny
+// scale: the aliases must produce a working generator and expansion.
+func TestReExports(t *testing.T) {
+	eng := metrics.NewEngine(metrics.Config{CTrials: 1500, OGoodRuns: 2, Seed: 4})
+	gen := NewGenerator(eng)
+	prog, report := gen.Generate()
+	if prog.Len() == 0 {
+		t.Fatal("empty program")
+	}
+	if report.Table == nil || report.Phase1 == nil || report.Phase2 == nil {
+		t.Fatal("incomplete report")
+	}
+	vecs := Expand(prog, ExpandOptions{Iterations: 3})
+	if vecs.Len() != 3*prog.Len() {
+		t.Fatalf("expansion length %d", vecs.Len())
+	}
+}

@@ -1,0 +1,40 @@
+package dsp
+
+import "repro/internal/isa"
+
+// CtrlBits is the exported control word: the seven MAC control bits of
+// the paper's Figure 5 plus the pipeline controls. The gate-level core
+// (package dspgate) synthesizes its second-stage decoder from this same
+// table, keeping the two models in lockstep by construction.
+type CtrlBits struct {
+	Sub      bool  // adder/subtracter mode: 1 = addA − addB
+	AccB     bool  // accumulator select
+	TruncEn  bool  // truncater enable
+	Mode     uint8 // shifter mode (2 bits)
+	ZeroAcc  bool  // adder A operand forced to zero (no accumulate)
+	ZeroProd bool  // adder B operand forced to zero (no product)
+
+	MacFamily  bool // result from MAC; writes selected accumulator
+	IsLdi      bool // stage-3 buffer takes the immediate field
+	IsOut      bool // drives the output port at writeback
+	ReadSrc    bool // read port A addresses bits [7:4] instead of [11:8]
+	WritesDest bool
+}
+
+// ControlBits returns the decoded control word for an operation.
+func ControlBits(op isa.Op, acc isa.Acc) CtrlBits {
+	c := decodeCtrl(op, acc)
+	return CtrlBits{
+		Sub:        c.sub,
+		AccB:       c.accB,
+		TruncEn:    c.truncEn,
+		Mode:       c.mode,
+		ZeroAcc:    c.zeroAcc,
+		ZeroProd:   c.zeroProd,
+		MacFamily:  c.macFamily,
+		IsLdi:      c.isLdi,
+		IsOut:      c.isOut,
+		ReadSrc:    c.readSrc,
+		WritesDest: c.writesDest,
+	}
+}

@@ -1,0 +1,44 @@
+package dsp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestTracer(t *testing.T) {
+	var sb strings.Builder
+	tr := &Tracer{W: &sb, Regs: []int{3}}
+	c := New()
+	prog, err := isa.Assemble(`
+		LD 0x5A,R3
+		NOP
+		NOP
+		OUT R3
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Run(c, prog)
+	out := sb.String()
+	if !strings.Contains(out, "LD 0x5a,R3") {
+		t.Errorf("trace missing disassembly:\n%s", out)
+	}
+	if !strings.Contains(out, "R3=5a") {
+		t.Errorf("trace missing register value:\n%s", out)
+	}
+	if !strings.Contains(out, "out=5a") {
+		t.Errorf("trace missing output value:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != len(prog)+3 {
+		t.Errorf("trace has %d lines, want %d", lines, len(prog)+3)
+	}
+	// Undecodable word renders as "-".
+	var sb2 strings.Builder
+	tr2 := &Tracer{W: &sb2}
+	tr2.Step(New(), 0x1F<<12)
+	if !strings.Contains(sb2.String(), "-") {
+		t.Error("trap word not rendered as '-'")
+	}
+}

@@ -1,0 +1,291 @@
+// Package dspgate constructs the gate-level netlist of the DSP core —
+// the role Synopsys Design Compiler plays in the paper's flow. The
+// netlist mirrors the behavioral model in package dsp cycle-for-cycle
+// (verified by cross-simulation tests) and is the circuit every fault
+// coverage number in this repository is measured on.
+//
+// Datapath components are emitted inside named hierarchical scopes
+// ("Multiplier", "Shifter", ...) so the fault simulator can attribute
+// faults to components, mirroring the per-component fault counts of the
+// paper's Table 2.
+package dspgate
+
+import (
+	"repro/internal/dsp"
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/synth"
+)
+
+// Core bundles the built netlist with its port buses and, for
+// verification, the architectural-state buses.
+type Core struct {
+	Netlist *logic.Netlist
+	// Instr is the 17-bit instruction input bus (Instr[i] = bit i).
+	Instr logic.Bus
+	// Out is the 8-bit output-port bus.
+	Out logic.Bus
+
+	// Regs are the register-file Q buses (16×8), AccABus/AccBBus the
+	// accumulator Q buses (18 bits each). Exposed for the cross-check
+	// tests against the behavioral model; fault detection uses Out only.
+	Regs    []logic.Bus
+	AccABus logic.Bus
+	AccBBus logic.Bus
+}
+
+// Options control construction.
+type Options struct {
+	// InsertFanoutBranches builds the netlist with per-branch buffers so
+	// the stuck-at fault list is pin-accurate. Enable for fault
+	// simulation; disable for the fastest logic simulation.
+	InsertFanoutBranches bool
+}
+
+// ComponentRegions lists the hierarchical scope names of the datapath
+// components, in Table 2 column-walk order.
+var ComponentRegions = []string{
+	"Multiplier", "Shifter", "AddSub", "MuxA", "MuxB", "Truncater",
+	"AccA", "AccB", "Limiter", "RegFile", "Forward", "Buffer",
+	"OutPort", "Decoder", "Pipeline",
+}
+
+// Build emits the complete core.
+func Build(opts Options) (*Core, error) {
+	b := logic.NewBuilder()
+	instr := b.InputBus("instr", isa.Width)
+
+	// ---- Stage 1: instruction register ----
+	var ir logic.Bus
+	b.Scoped("Pipeline", func() {
+		ir = b.DFFBus(instr, "ir")
+	})
+
+	// ---- Stage 2: decode + register read ----
+	opcode := ir.Slice(12, 17)
+	fieldRA := ir.Slice(8, 12)
+	fieldRB := ir.Slice(4, 8)
+	fieldRD := ir.Slice(0, 4)
+	fieldImm := ir.Slice(4, 12)
+	fieldSrc := ir.Slice(4, 8)
+
+	// Decoder: one-hot opcode lines OR-ed into control signals from the
+	// shared dsp.ControlBits table.
+	type ctrlNets struct {
+		sub, accB, truncEn, mode0, mode1             logic.NetID
+		zeroAcc, zeroProd                            logic.NetID
+		macFamily, isLdi, isOut, readSrc, writesDest logic.NetID
+	}
+	var cw ctrlNets
+	b.Scoped("Decoder", func() {
+		hot := synth.Decoder(b, opcode)
+		gather := func(pick func(dsp.CtrlBits) bool) logic.NetID {
+			var lines []logic.NetID
+			for oc := 0; oc < 32; oc++ {
+				in, err := isa.Decode(uint32(oc) << 12)
+				if err != nil {
+					continue // unassigned opcode: trap, contributes 0
+				}
+				if pick(dsp.ControlBits(in.Op, in.Acc)) {
+					lines = append(lines, hot[oc])
+				}
+			}
+			switch len(lines) {
+			case 0:
+				return b.Const(false)
+			case 1:
+				return b.Buf(lines[0], "")
+			default:
+				return b.Or(lines...)
+			}
+		}
+		cw.sub = gather(func(c dsp.CtrlBits) bool { return c.Sub })
+		cw.accB = gather(func(c dsp.CtrlBits) bool { return c.AccB })
+		cw.truncEn = gather(func(c dsp.CtrlBits) bool { return c.TruncEn })
+		cw.mode0 = gather(func(c dsp.CtrlBits) bool { return c.Mode&1 == 1 })
+		cw.mode1 = gather(func(c dsp.CtrlBits) bool { return c.Mode&2 == 2 })
+		cw.zeroAcc = gather(func(c dsp.CtrlBits) bool { return c.ZeroAcc })
+		cw.zeroProd = gather(func(c dsp.CtrlBits) bool { return c.ZeroProd })
+		cw.macFamily = gather(func(c dsp.CtrlBits) bool { return c.MacFamily })
+		cw.isLdi = gather(func(c dsp.CtrlBits) bool { return c.IsLdi })
+		cw.isOut = gather(func(c dsp.CtrlBits) bool { return c.IsOut })
+		cw.readSrc = gather(func(c dsp.CtrlBits) bool { return c.ReadSrc })
+		cw.writesDest = gather(func(c dsp.CtrlBits) bool { return c.WritesDest })
+	})
+
+	// WB-stage registers are needed by stage 2 (forwarding) and by the
+	// register file write port; declare them as deferred feedback.
+	wbDataFeed := deferBus(b, 8)
+	wbDestFeed := deferBus(b, 4)
+	wbWriteEnFeed := b.DeferredBuf()
+	wbOutEnFeed := b.DeferredBuf()
+	wbOutValFeed := deferBus(b, 8)
+	var wbData, wbDest, wbOutVal logic.Bus
+	var wbWriteEn, wbOutEn logic.NetID
+	b.Scoped("Pipeline", func() {
+		wbData = b.DFFBus(wbDataFeed, "wb_data")
+		wbDest = b.DFFBus(wbDestFeed, "wb_dest")
+		wbWriteEn = b.DFF(wbWriteEnFeed, "wb_we")
+		wbOutEn = b.DFF(wbOutEnFeed, "wb_oe")
+		wbOutVal = b.DFFBus(wbOutValFeed, "wb_outval")
+	})
+
+	// Register file with write port driven by the WB stage.
+	var rf *synth.RegFile
+	b.Scoped("RegFile", func() {
+		rf = synth.RegisterFile(b, synth.RegisterFileConfig{NumRegs: isa.NumRegs, Width: 8},
+			wbDest, wbData, wbWriteEn)
+	})
+
+	// Read addresses come from fixed instruction bit positions: port A
+	// reads RegA (bits [11:8]) except for OUT/MOV, which read the Source
+	// field; port B always reads bits [7:4].
+	addrA := b.Mux2Bus(cw.readSrc, fieldRA, fieldSrc)
+	addrB := fieldRB
+
+	var readA, readB logic.Bus
+	b.Scoped("RegFile", func() {
+		readA = rf.ReadPort(b, addrA)
+		readB = rf.ReadPort(b, addrB)
+	})
+
+	// Forwarding (temporary) register bypass.
+	var fwdA, fwdB logic.Bus
+	b.Scoped("Forward", func() {
+		matchA := b.And(wbWriteEn, synth.Equal(b, addrA, wbDest))
+		matchB := b.And(wbWriteEn, synth.Equal(b, addrB, wbDest))
+		fwdA = b.Mux2Bus(matchA, readA, wbData)
+		fwdB = b.Mux2Bus(matchB, readB, wbData)
+	})
+
+	// ---- EX-stage pipeline registers ----
+	var exSub, exAccB, exTruncEn, exZeroAcc, exZeroProd logic.NetID
+	var exMacFamily, exIsLdi, exIsOut, exWritesDest logic.NetID
+	var exMode, exOpA, exOpB, exImm, exSrcVal, exDest logic.Bus
+	b.Scoped("Pipeline", func() {
+		exSub = b.DFF(cw.sub, "ex_sub")
+		exAccB = b.DFF(cw.accB, "ex_accb")
+		exTruncEn = b.DFF(cw.truncEn, "ex_trunc")
+		exMode = logic.Bus{b.DFF(cw.mode0, "ex_mode0"), b.DFF(cw.mode1, "ex_mode1")}
+		exZeroAcc = b.DFF(cw.zeroAcc, "ex_zacc")
+		exZeroProd = b.DFF(cw.zeroProd, "ex_zprod")
+		exMacFamily = b.DFF(cw.macFamily, "ex_mac")
+		exIsLdi = b.DFF(cw.isLdi, "ex_ldi")
+		exIsOut = b.DFF(cw.isOut, "ex_out")
+		exWritesDest = b.DFF(cw.writesDest, "ex_wd")
+		exOpA = b.DFFBus(fwdA, "ex_opa")
+		exOpB = b.DFFBus(fwdB, "ex_opb")
+		exImm = b.DFFBus(fieldImm, "ex_imm")
+		exSrcVal = b.DFFBus(fwdA, "ex_src")
+		exDest = b.DFFBus(fieldRD, "ex_dest")
+	})
+
+	// ---- Execute stage: the MAC datapath of Figure 5 ----
+	// Accumulators close a combinational loop through the shifter and
+	// adder, so their D inputs are deferred.
+	accAFeed := deferBus(b, 18)
+	accBFeed := deferBus(b, 18)
+	var accA, accB logic.Bus
+	b.Scoped("AccA", func() { accA = b.DFFBus(accAFeed, "accA") })
+	b.Scoped("AccB", func() { accB = b.DFFBus(accBFeed, "accB") })
+
+	var prod logic.Bus
+	b.Scoped("Multiplier", func() {
+		p16 := synth.MulSigned(b, exOpA, exOpB, 16)
+		prod = b.SignExtend(p16, 18)
+		b.NameBus(prod, "prod")
+	})
+
+	accSel := b.Mux2Bus(exAccB, accA, accB)
+
+	var shifted logic.Bus
+	b.Scoped("Shifter", func() {
+		shifted = synth.BarrelShifter(b, accSel, exOpA.Slice(0, 4), exMode)
+		b.NameBus(shifted, "shifted")
+	})
+
+	zero18 := b.ConstBus(0, 18)
+	var addA, addB logic.Bus
+	b.Scoped("MuxA", func() {
+		addA = b.Mux2Bus(exZeroAcc, shifted, zero18)
+		b.NameBus(addA, "addA")
+	})
+	b.Scoped("MuxB", func() {
+		addB = b.Mux2Bus(exZeroProd, prod, zero18)
+		b.NameBus(addB, "addB")
+	})
+
+	var sum logic.Bus
+	b.Scoped("AddSub", func() {
+		sum, _ = synth.AddSub(b, addA, addB, exSub)
+		b.NameBus(sum, "sum")
+	})
+
+	var truncated logic.Bus
+	b.Scoped("Truncater", func() {
+		truncated = synth.Truncate(b, sum, 8, exTruncEn)
+		b.NameBus(truncated, "trunc")
+	})
+
+	var macOut logic.Bus
+	b.Scoped("Limiter", func() {
+		macOut = synth.Limiter(b, truncated, 4, 8)
+		b.NameBus(macOut, "macOut")
+	})
+
+	// Accumulator write-back.
+	enA := b.And(exMacFamily, b.Not(exAccB))
+	enB := b.And(exMacFamily, exAccB)
+	dAccA := b.Mux2Bus(enA, accA, truncated)
+	dAccB := b.Mux2Bus(enB, accB, truncated)
+	resolveBus(b, accAFeed, dAccA)
+	resolveBus(b, accBFeed, dAccB)
+
+	// Stage-3 buffer and writeback muxing.
+	var bufVal logic.Bus
+	b.Scoped("Buffer", func() {
+		bufVal = b.Mux2Bus(exIsLdi, exSrcVal, exImm)
+		b.NameBus(bufVal, "buf")
+	})
+	wbDataNext := b.Mux2Bus(exMacFamily, bufVal, macOut)
+
+	resolveBus(b, wbDataFeed, wbDataNext)
+	resolveBus(b, wbDestFeed, exDest)
+	b.ResolveBuf(wbWriteEnFeed, exWritesDest)
+	b.ResolveBuf(wbOutEnFeed, exIsOut)
+	resolveBus(b, wbOutValFeed, bufVal)
+
+	// ---- Writeback: output port register ----
+	var outPort logic.Bus
+	b.Scoped("OutPort", func() {
+		outPort = synth.Register(b, wbOutVal, wbOutEn, "outp")
+	})
+	outBus := b.MarkOutputBus(outPort, "out")
+
+	n, err := b.Build(logic.BuildOptions{InsertFanoutBranches: opts.InsertFanoutBranches})
+	if err != nil {
+		return nil, err
+	}
+	return &Core{
+		Netlist: n,
+		Instr:   instr,
+		Out:     outBus,
+		Regs:    rf.Regs,
+		AccABus: accA,
+		AccBBus: accB,
+	}, nil
+}
+
+func deferBus(b *logic.Builder, width int) logic.Bus {
+	bus := make(logic.Bus, width)
+	for i := range bus {
+		bus[i] = b.DeferredBuf()
+	}
+	return bus
+}
+
+func resolveBus(b *logic.Builder, feeds, d logic.Bus) {
+	for i := range feeds {
+		b.ResolveBuf(feeds[i], d[i])
+	}
+}

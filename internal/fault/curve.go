@@ -1,0 +1,100 @@
+package fault
+
+import "math"
+
+// CurvePoint is one (test length, coverage) sample.
+type CurvePoint struct {
+	Cycle    int
+	Coverage float64
+}
+
+// Curve samples the coverage-vs-test-length curve of a finished run at
+// the given cycle counts (pass nil for a geometric default sweep).
+func (r *Result) Curve(cycles []int) []CurvePoint {
+	if cycles == nil {
+		for v := 64; v < r.Cycles; v *= 2 {
+			cycles = append(cycles, v)
+		}
+		cycles = append(cycles, r.Cycles)
+	}
+	out := make([]CurvePoint, 0, len(cycles))
+	for _, c := range cycles {
+		out = append(out, CurvePoint{Cycle: c, Coverage: r.CoverageAt(c)})
+	}
+	return out
+}
+
+// SaturationModel is the classical two-population coverage model
+//
+//	coverage(t) = Cmax − A·exp(−t/Tau)
+//
+// fitted to a run's curve: Cmax is the asymptotic coverage (bounded by
+// the untestable residue), Tau the detection time constant. It answers
+// the paper's Phase-3 question — how long must the loop run for a target
+// coverage — without simulating every candidate length.
+type SaturationModel struct {
+	Cmax float64
+	A    float64
+	Tau  float64
+}
+
+// FitSaturation fits the model to a run by fixing Cmax slightly above
+// the final measured coverage and least-squares fitting log(Cmax − c(t))
+// against t on a geometric sample of the curve.
+func (r *Result) FitSaturation() SaturationModel {
+	final := r.Coverage()
+	cmax := final + (1-final)*0.05
+	if cmax <= final {
+		cmax = final + 1e-6
+	}
+	var sx, sy, sxx, sxy float64
+	n := 0.0
+	for v := 16; v <= r.Cycles; v *= 2 {
+		c := r.CoverageAt(v)
+		gap := cmax - c
+		if gap <= 0 {
+			continue
+		}
+		x, y := float64(v), math.Log(gap)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	m := SaturationModel{Cmax: cmax}
+	if n < 2 {
+		m.A = cmax - r.CoverageAt(0)
+		m.Tau = float64(r.Cycles)
+		return m
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	// A flat tail (everything detected early, constant residual gap)
+	// fits a near-zero slope; clamp Tau to a meaningful horizon.
+	maxTau := 100 * float64(r.Cycles)
+	if slope >= -1/maxTau {
+		slope = -1 / maxTau
+	}
+	m.Tau = -1 / slope
+	m.A = math.Exp(intercept)
+	return m
+}
+
+// Coverage evaluates the model at test length t.
+func (m SaturationModel) Coverage(t float64) float64 {
+	c := m.Cmax - m.A*math.Exp(-t/m.Tau)
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// LengthFor returns the estimated test length reaching the target
+// coverage, or -1 if the model saturates below it.
+func (m SaturationModel) LengthFor(target float64) float64 {
+	if target >= m.Cmax {
+		return -1
+	}
+	return -m.Tau * math.Log((m.Cmax-target)/m.A)
+}

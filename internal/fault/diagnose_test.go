@@ -1,0 +1,94 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestDiagnoseFindsInjectedFault(t *testing.T) {
+	n := buildSeq(t)
+	vecs := randomVectors(120, 4, 77)
+	faults, _ := Collapse(n, AllFaults(n))
+	rng := rand.New(rand.NewSource(5))
+	tested := 0
+	for trial := 0; trial < 20 && tested < 8; trial++ {
+		truth := faults[rng.Intn(len(faults))]
+		observed := FaultTrace(n, vecs, truth)
+		good := GoodTrace(n, vecs)
+		same := true
+		for i := range observed {
+			if observed[i] != good[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			continue // fault not excited by this test; nothing to diagnose
+		}
+		tested++
+		cands, err := Diagnose(n, vecs, observed, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cands) == 0 {
+			t.Fatalf("no candidates for %v", truth)
+		}
+		// The true fault (or an equivalent with identical behavior) must
+		// rank first with an exact match.
+		if !cands[0].ExactMatch {
+			t.Fatalf("top candidate for %v is not exact: %+v", truth, cands[0])
+		}
+		found := false
+		for _, c := range cands {
+			if c.Fault == truth && c.ExactMatch {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("true fault %v missing from exact candidates", truth)
+		}
+	}
+	if tested < 3 {
+		t.Fatalf("only %d usable trials", tested)
+	}
+}
+
+func TestDiagnosePassingMachine(t *testing.T) {
+	n := buildSeq(t)
+	vecs := randomVectors(50, 4, 3)
+	observed := GoodTrace(n, vecs)
+	cands, err := Diagnose(n, vecs, observed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cands != nil {
+		t.Fatalf("passing machine produced candidates: %v", cands)
+	}
+}
+
+func TestGoodTraceMatchesSimulator(t *testing.T) {
+	n := buildAdder(t)
+	vecs := randomVectors(40, 9, 9)
+	trace := GoodTrace(n, vecs)
+	s := logic.NewSimulator(n)
+	for cyc := 0; cyc < vecs.Len(); cyc++ {
+		v := vecs.At(cyc)
+		for b, in := range n.Inputs() {
+			s.SetInput(in, v>>uint(b)&1 == 1)
+		}
+		s.Settle()
+		var word uint64
+		for b, out := range n.Outputs() {
+			if s.Value(out) {
+				word |= 1 << uint(b)
+			}
+		}
+		if word != trace[cyc] {
+			t.Fatalf("cycle %d: %x vs %x", cyc, word, trace[cyc])
+		}
+		s.Step()
+	}
+}

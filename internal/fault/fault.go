@@ -1,0 +1,194 @@
+// Package fault implements single-stuck-at fault modeling and a
+// PROOFS-style bit-parallel sequential fault simulator.
+//
+// The fault universe is every net of a logic.Netlist stuck at 0 and at 1.
+// When the netlist is built with fanout-branch insertion every classical
+// fault site (gate output stems and gate input pins on fanout branches)
+// is a distinct net, so net faults cover the full pin-level model.
+// Structural equivalence collapsing shrinks the list before simulation;
+// coverage is reported over the collapsed list, the convention most
+// commercial tools default to.
+//
+// Simulation packs the fault-free machine into bit-lane 0 of a 64-lane
+// word simulator and up to 63 faulty machines into the remaining lanes.
+// The vector sequence is processed in segments: at each segment boundary
+// detected faults are dropped and survivors are repacked into fresh
+// batches, carrying their per-fault flip-flop state across the boundary,
+// so late segments run with very few batches.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// Fault is a single stuck-at fault on a net.
+type Fault struct {
+	Site logic.NetID
+	SA1  bool
+}
+
+// String renders the fault in the conventional site/polarity form.
+func (f Fault) String() string {
+	pol := "sa0"
+	if f.SA1 {
+		pol = "sa1"
+	}
+	return fmt.Sprintf("net%d/%s", f.Site, pol)
+}
+
+// AllFaults enumerates both polarities on every net except constants
+// (stuck-at faults on constant drivers are undetectable by definition in
+// this model) and dead nets outside every output's input cone (logic a
+// synthesis tool would have pruned; their faults are untestable by
+// construction). Both exclusions keep coverage denominators honest.
+func AllFaults(n *logic.Netlist) []Fault {
+	live := n.LiveNets()
+	faults := make([]Fault, 0, 2*n.NumNets())
+	for id := 0; id < n.NumNets(); id++ {
+		switch n.Gate(logic.NetID(id)).Kind {
+		case logic.GateConst0, logic.GateConst1:
+			continue
+		}
+		if !live[id] {
+			continue
+		}
+		faults = append(faults,
+			Fault{Site: logic.NetID(id), SA1: false},
+			Fault{Site: logic.NetID(id), SA1: true})
+	}
+	return faults
+}
+
+// RegionFaults enumerates both polarities on every net inside the named
+// hierarchical region (see logic.Builder.PushScope).
+func RegionFaults(n *logic.Netlist, region string) []Fault {
+	nets := n.RegionNets(region)
+	if len(nets) == 0 {
+		return nil
+	}
+	live := n.LiveNets()
+	faults := make([]Fault, 0, 2*len(nets))
+	for _, id := range nets {
+		switch n.Gate(id).Kind {
+		case logic.GateConst0, logic.GateConst1:
+			continue
+		}
+		if !live[id] {
+			continue
+		}
+		faults = append(faults, Fault{Site: id, SA1: false}, Fault{Site: id, SA1: true})
+	}
+	return faults
+}
+
+// faultKey packs a fault for union-find indexing: 2*net + polarity.
+func faultKey(f Fault) int {
+	k := int(f.Site) * 2
+	if f.SA1 {
+		k++
+	}
+	return k
+}
+
+func keyFault(k int) Fault {
+	return Fault{Site: logic.NetID(k / 2), SA1: k%2 == 1}
+}
+
+// Collapse performs structural equivalence collapsing and returns one
+// representative per equivalence class (in deterministic order) plus a
+// map from every input fault to its class representative.
+//
+// Rules applied (classical single-output gate equivalences), each only
+// when the gate is its input net's sole reader so the input-pin fault and
+// the net fault coincide:
+//
+//	BUF:  in/sa-v  ≡ out/sa-v
+//	NOT:  in/sa-v  ≡ out/sa-!v
+//	AND:  in/sa-0  ≡ out/sa-0     NAND: in/sa-0 ≡ out/sa-1
+//	OR:   in/sa-1  ≡ out/sa-1     NOR:  in/sa-1 ≡ out/sa-0
+func Collapse(n *logic.Netlist, faults []Fault) ([]Fault, map[Fault]Fault) {
+	parent := make([]int, 2*n.NumNets())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if ra < rb {
+				parent[rb] = ra
+			} else {
+				parent[ra] = rb
+			}
+		}
+	}
+	key := func(net logic.NetID, sa1 bool) int {
+		k := int(net) * 2
+		if sa1 {
+			k++
+		}
+		return k
+	}
+	for id := 0; id < n.NumNets(); id++ {
+		out := logic.NetID(id)
+		g := n.Gate(out)
+		for _, in := range g.In {
+			if len(n.Fanout(in)) != 1 {
+				continue
+			}
+			switch g.Kind {
+			case logic.GateBuf:
+				union(key(in, false), key(out, false))
+				union(key(in, true), key(out, true))
+			case logic.GateNot:
+				union(key(in, false), key(out, true))
+				union(key(in, true), key(out, false))
+			case logic.GateAnd:
+				union(key(in, false), key(out, false))
+			case logic.GateNand:
+				union(key(in, false), key(out, true))
+			case logic.GateOr:
+				union(key(in, true), key(out, true))
+			case logic.GateNor:
+				union(key(in, true), key(out, false))
+			}
+		}
+	}
+	// Representative for each class: the smallest member key that appears
+	// in the input list (class roots may collapse across the region
+	// boundary; keep representatives inside the requested fault set).
+	repOf := make(map[int]int)
+	keys := make([]int, 0, len(faults))
+	for _, f := range faults {
+		keys = append(keys, faultKey(f))
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		root := find(k)
+		if _, ok := repOf[root]; !ok {
+			repOf[root] = k
+		}
+	}
+	reps := make([]Fault, 0, len(repOf))
+	seen := make(map[int]bool, len(repOf))
+	classOf := make(map[Fault]Fault, len(faults))
+	for _, k := range keys {
+		rep := repOf[find(k)]
+		classOf[keyFault(k)] = keyFault(rep)
+		if !seen[rep] {
+			seen[rep] = true
+			reps = append(reps, keyFault(rep))
+		}
+	}
+	return reps, classOf
+}

@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestQualityReport(t *testing.T) {
+	n := buildSeq(t)
+	vecs := randomVectors(200, 4, 91)
+	rep, err := Quality(n, vecs, QualityOptions{
+		NDetect:      3,
+		BridgeSample: 10,
+		PathPairs:    12,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StuckAt.Coverage() == 0 || rep.Transition.Coverage() == 0 {
+		t.Fatal("empty coverages")
+	}
+	if rep.NDetectCov > rep.StuckAt.Coverage() {
+		t.Fatal("3-detect coverage exceeds 1-detect")
+	}
+	if rep.BridgeTotal != 10 {
+		t.Fatalf("bridge total %d", rep.BridgeTotal)
+	}
+	if rep.PathDelay == nil || len(rep.PathDelay.Paths) != 12 {
+		t.Fatal("path pass missing")
+	}
+	s := rep.String()
+	for _, want := range []string{"stuck-at", "3-detect", "transition", "bridging", "path delay"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQualityMinimal(t *testing.T) {
+	n := buildAdder(t)
+	vecs := randomVectors(64, 9, 4)
+	rep, err := Quality(n, vecs, QualityOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	if strings.Contains(s, "bridging") || strings.Contains(s, "path delay") || strings.Contains(s, "-detect") {
+		t.Errorf("disabled passes leaked into report:\n%s", s)
+	}
+}

@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/logic"
+)
+
+// VectorSeq supplies one primary-input assignment per clock cycle.
+// Bit i of At(cycle) drives Netlist.Inputs()[i]; circuits with more than
+// 64 primary inputs are not supported by the simulator.
+type VectorSeq interface {
+	Len() int
+	At(cycle int) uint64
+}
+
+// Vectors is the simplest VectorSeq: a pre-expanded slice.
+type Vectors []uint64
+
+// Len returns the number of cycles.
+func (v Vectors) Len() int { return len(v) }
+
+// At returns the packed input assignment for a cycle.
+func (v Vectors) At(i int) uint64 { return v[i] }
+
+// FuncSeq adapts a generator function to a VectorSeq. The function must
+// be deterministic in the cycle index because segments are replayed once
+// per fault batch.
+type FuncSeq struct {
+	N  int
+	Fn func(cycle int) uint64
+}
+
+// Len returns the number of cycles.
+func (f FuncSeq) Len() int { return f.N }
+
+// At returns the packed input assignment for a cycle.
+func (f FuncSeq) At(i int) uint64 { return f.Fn(i) }
+
+// SimOptions tune Simulate.
+type SimOptions struct {
+	// Faults to simulate. Nil means the collapsed full fault list.
+	Faults []Fault
+	// SegmentLen is the number of cycles between drop/repack boundaries.
+	// Zero selects the default (1024).
+	SegmentLen int
+	// NDetect keeps simulating each fault until it has produced an
+	// output difference in NDetect distinct cycles (or the vectors run
+	// out), filling Result.Detections — the n-detect test-quality
+	// metric. Zero or one selects ordinary first-detection dropping.
+	NDetect int
+	// Progress, when non-nil, is called after each segment with the
+	// number of cycles consumed and faults detected so far.
+	Progress func(cycles, detected, remaining int)
+}
+
+// Result reports a fault simulation run.
+type Result struct {
+	// Faults is the simulated fault list (collapsed representatives).
+	Faults []Fault
+	// DetectedAt[i] is the 0-based cycle where Faults[i] first produced
+	// an output difference, or -1 if it was never detected.
+	DetectedAt []int32
+	// Detections[i] counts the distinct cycles with an output difference
+	// for Faults[i], saturated at SimOptions.NDetect. Nil unless NDetect
+	// was requested.
+	Detections []int32
+	// Cycles is the total number of vectors applied.
+	Cycles int
+}
+
+// NDetectCoverage returns the fraction of faults detected in at least n
+// distinct cycles (requires a run with SimOptions.NDetect >= n).
+func (r *Result) NDetectCoverage(n int) float64 {
+	if len(r.Faults) == 0 || r.Detections == nil {
+		return 0
+	}
+	c := 0
+	for _, d := range r.Detections {
+		if int(d) >= n {
+			c++
+		}
+	}
+	return float64(c) / float64(len(r.Faults))
+}
+
+// Detected counts detected faults.
+func (r *Result) Detected() int {
+	d := 0
+	for _, c := range r.DetectedAt {
+		if c >= 0 {
+			d++
+		}
+	}
+	return d
+}
+
+// Coverage returns detected/total over the simulated fault list.
+func (r *Result) Coverage() float64 {
+	if len(r.Faults) == 0 {
+		return 0
+	}
+	return float64(r.Detected()) / float64(len(r.Faults))
+}
+
+// DetectedBy counts faults detected at or before the given cycle,
+// enabling coverage-vs-test-length curves from a single run.
+func (r *Result) DetectedBy(cycle int) int {
+	d := 0
+	for _, c := range r.DetectedAt {
+		if c >= 0 && int(c) <= cycle {
+			d++
+		}
+	}
+	return d
+}
+
+// CoverageAt returns the coverage achieved by the given cycle.
+func (r *Result) CoverageAt(cycle int) float64 {
+	if len(r.Faults) == 0 {
+		return 0
+	}
+	return float64(r.DetectedBy(cycle)) / float64(len(r.Faults))
+}
+
+// FirstCycleReaching returns the earliest cycle by which at least k
+// faults are detected, or -1 if the run never reaches k.
+func (r *Result) FirstCycleReaching(k int) int {
+	if k <= 0 {
+		return 0
+	}
+	// Collect detection cycles and take the k-th smallest.
+	cycles := make([]int, 0, len(r.DetectedAt))
+	for _, c := range r.DetectedAt {
+		if c >= 0 {
+			cycles = append(cycles, int(c))
+		}
+	}
+	if len(cycles) < k {
+		return -1
+	}
+	sort.Ints(cycles)
+	return cycles[k-1]
+}
+
+// RegionCoverage returns detected and total counts restricted to faults
+// whose site lies inside the named region.
+func (r *Result) RegionCoverage(n *logic.Netlist, region string) (detected, total int) {
+	nets := n.RegionNets(region)
+	inRegion := make(map[logic.NetID]bool, len(nets))
+	for _, id := range nets {
+		inRegion[id] = true
+	}
+	for i, f := range r.Faults {
+		if !inRegion[f.Site] {
+			continue
+		}
+		total++
+		if r.DetectedAt[i] >= 0 {
+			detected++
+		}
+	}
+	return detected, total
+}
+
+// Simulate runs sequential stuck-at fault simulation of the vector
+// sequence against the netlist, starting every machine (good and faulty)
+// from the all-zero flip-flop state.
+func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error) {
+	inputs := n.Inputs()
+	if len(inputs) > 64 {
+		return nil, fmt.Errorf("fault: %d primary inputs exceed the 64 supported", len(inputs))
+	}
+	faults := opts.Faults
+	if faults == nil {
+		faults, _ = Collapse(n, AllFaults(n))
+	}
+	segLen := opts.SegmentLen
+	if segLen <= 0 {
+		segLen = 1024
+	}
+	w := logic.NewWordSim(n)
+	stateWords := w.StateWords()
+
+	ndet := opts.NDetect
+	if ndet < 1 {
+		ndet = 1
+	}
+	res := &Result{
+		Faults:     faults,
+		DetectedAt: make([]int32, len(faults)),
+		Cycles:     vecs.Len(),
+	}
+	for i := range res.DetectedAt {
+		res.DetectedAt[i] = -1
+	}
+	counts := make([]int32, len(faults))
+	if opts.NDetect > 1 {
+		res.Detections = counts
+	}
+
+	// Per-fault saved DFF state at the current segment boundary.
+	states := make([][]uint64, len(faults))
+	for i := range states {
+		states[i] = make([]uint64, stateWords)
+	}
+	goodState := make([]uint64, stateWords)
+	nextGoodState := make([]uint64, stateWords)
+
+	// remaining holds indices into faults still undetected.
+	remaining := make([]int, len(faults))
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	total := vecs.Len()
+	for start := 0; start < total && len(remaining) > 0; start += segLen {
+		end := start + segLen
+		if end > total {
+			end = total
+		}
+		goodSaved := false
+		var survivors []int
+		for batchStart := 0; batchStart < len(remaining); batchStart += 63 {
+			batch := remaining[batchStart:min(batchStart+63, len(remaining))]
+			w.Reset()
+			w.SetLaneState(0, goodState)
+			for li, fi := range batch {
+				lane := uint(li + 1)
+				w.SetLaneState(lane, states[fi])
+				w.Inject(faults[fi].Site, faults[fi].SA1, lane)
+			}
+			w.ApplyInjectionsToValues()
+			var doneMask uint64
+			liveMask := uint64(1)<<uint(len(batch)+1) - 2 // lanes 1..len
+			for cycle := start; cycle < end; cycle++ {
+				vec := vecs.At(cycle)
+				for bi, in := range inputs {
+					w.SetInput(in, vec>>uint(bi)&1 == 1)
+				}
+				w.Settle()
+				diff := w.OutputDiff() & liveMask &^ doneMask
+				if diff != 0 {
+					for li := range batch {
+						if diff>>(uint(li)+1)&1 == 0 {
+							continue
+						}
+						fi := batch[li]
+						counts[fi]++
+						if res.DetectedAt[fi] < 0 {
+							res.DetectedAt[fi] = int32(cycle)
+						}
+						if counts[fi] >= int32(ndet) {
+							doneMask |= 1 << uint(li+1)
+						}
+					}
+					if doneMask == liveMask && end == total {
+						// Whole batch done; rest of run irrelevant.
+						break
+					}
+				}
+				w.ClockAfterSettle()
+			}
+			if !goodSaved {
+				w.LaneState(0, nextGoodState)
+				goodSaved = true
+			}
+			for li, fi := range batch {
+				if counts[fi] >= int32(ndet) {
+					continue
+				}
+				w.LaneState(uint(li+1), states[fi])
+				survivors = append(survivors, fi)
+			}
+		}
+		if len(remaining) == 0 {
+			// No batches ran; still need the good state advanced. This
+			// cannot happen inside the loop guard, but keep the invariant
+			// explicit for future edits.
+			panic("unreachable")
+		}
+		goodState, nextGoodState = nextGoodState, goodState
+		remaining = survivors
+		if opts.Progress != nil {
+			opts.Progress(end, len(faults)-len(remaining), len(remaining))
+		}
+	}
+	return res, nil
+}

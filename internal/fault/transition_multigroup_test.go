@@ -1,0 +1,49 @@
+package fault
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestTransitionMultiGroup(t *testing.T) {
+	// Multi-group regression: enough faults for several 63-lane batches,
+	// exercising batch packing and cross-batch state isolation.
+	b := logic.NewBuilder()
+	in := b.InputBus("in", 8)
+	state := b.DFFBus(in, "s0")
+	x := state
+	for k := 0; k < 3; k++ {
+		nx := make(logic.Bus, 8)
+		carry := b.Const(false)
+		for i := 0; i < 8; i++ {
+			ax := b.Xor(x[i], in[(i+k)%8])
+			nx[i] = b.Xor(ax, carry)
+			carry = b.Or(b.And(x[i], in[(i+k)%8]), b.And(ax, carry))
+		}
+		x = b.DFFBus(nx, "st"+string(rune('a'+k)))
+	}
+	b.MarkOutputBus(x, "out")
+	n, err := b.Build(logic.BuildOptions{InsertFanoutBranches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vecs := randomVectors(60, 8, 3)
+	faults := AllTransitionFaults(n)
+	t.Logf("%d faults, %d nets", len(faults), n.NumNets())
+	res, err := SimulateTransitions(n, vecs, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mism := 0
+	for i, f := range faults {
+		want := serialTransitionDetect(n, f, vecs)
+		if int(res.DetectedAt[i]) != want {
+			mism++
+			if mism < 6 {
+				t.Errorf("fault %v: parallel=%d serial=%d", f, res.DetectedAt[i], want)
+			}
+		}
+	}
+	t.Logf("mismatches: %d / %d; parallel detected %d", mism, len(faults), res.Detected())
+}

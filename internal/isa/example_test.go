@@ -1,0 +1,31 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ExampleAssemble assembles a fragment of the paper's Figure-7 program
+// and prints it with binary encodings.
+func ExampleAssemble() {
+	prog, err := isa.Assemble(`
+		LD RND,R1       // template load: immediate from LFSR1
+		LD RND,R0
+		NOP
+		MPYB R0,R1,R2   // randomize accB
+		NOP
+		OUT R2
+	`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(isa.Disassemble(prog))
+	// Output:
+	// 00111000000000001  LDRND RND,R1
+	// 00111000000000000  LDRND RND,R0
+	// 00000000000000000  NOP
+	// 01001000000010010  MPYB R0,R1,R2
+	// 00000000000000000  NOP
+	// 00001000000100000  OUT R2
+}

@@ -1,0 +1,49 @@
+package isa
+
+import "testing"
+
+// FuzzDecode: any 17-bit word either fails to decode or round-trips
+// through Encode to an equivalent word (don't-care fields may differ,
+// so compare via re-decode).
+func FuzzDecode(f *testing.F) {
+	f.Add(uint32(0))
+	f.Add(uint32(0x045A3))
+	f.Add(uint32(0x1FFFF))
+	f.Fuzz(func(t *testing.T, word uint32) {
+		word &= 1<<Width - 1
+		in, err := Decode(word)
+		if err != nil {
+			return
+		}
+		re, err := Decode(in.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of %v failed: %v", in, err)
+		}
+		if re != in {
+			t.Fatalf("decode(%05x)=%+v but re-decode gives %+v", word, in, re)
+		}
+	})
+}
+
+// FuzzParse: Parse must never panic, and anything it accepts must render
+// to a string it accepts again with the same encoding.
+func FuzzParse(f *testing.F) {
+	f.Add("MPYB R0,R1,R2")
+	f.Add("LD RND,R1")
+	f.Add(`LD "01110000",R3`)
+	f.Add("OUT R15 // comment")
+	f.Add(".??!")
+	f.Fuzz(func(t *testing.T, line string) {
+		in, err := Parse(line)
+		if err != nil {
+			return
+		}
+		again, err := Parse(in.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) ok but Parse(String()=%q) failed: %v", line, in.String(), err)
+		}
+		if again.Encode() != in.Encode() {
+			t.Fatalf("encoding changed: %q -> %q", line, in.String())
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw, accRaw, ra, rb, rd, src, imm uint8) bool {
+		op := Op(opRaw) % numOps
+		i := Instr{Op: op, Acc: Acc(accRaw % 2)}
+		switch op.Format() {
+		case Format1:
+			i.RA, i.RB, i.RD = ra%16, rb%16, rd%16
+		case Format2:
+			i.Imm, i.RD = imm, rd%16
+		case Format3:
+			i.Src = src % 16
+		case Format4:
+			i.Src, i.RD = src%16, rd%16
+		}
+		if !op.MacFamily() {
+			i.Acc = AccA
+		}
+		word := i.Encode()
+		if word >= 1<<Width {
+			t.Logf("encoding overflows 17 bits: %#x", word)
+			return false
+		}
+		got, err := Decode(word)
+		if err != nil {
+			t.Logf("decode failed: %v", err)
+			return false
+		}
+		if i.Op == OpNop {
+			// NOP fields are don't-care; only the opcode matters.
+			return got.Op == OpNop
+		}
+		return got == i
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsUnassigned(t *testing.T) {
+	// Opcode 0x1F is unassigned.
+	if _, err := Decode(0x1F << 12); err == nil {
+		t.Fatal("expected error for unassigned opcode")
+	}
+	if _, err := Decode(1 << 17); err == nil {
+		t.Fatal("expected error for >17-bit word")
+	}
+}
+
+func TestOpcodesUnique(t *testing.T) {
+	seen := map[uint32]string{}
+	for op := Op(0); op < numOps; op++ {
+		i := Instr{Op: op}
+		oc := i.Encode() >> 12
+		if prev, dup := seen[oc]; dup {
+			t.Fatalf("opcode %#x shared by %s and %s", oc, prev, op.Mnemonic())
+		}
+		seen[oc] = op.Mnemonic()
+		if op.MacFamily() {
+			i.Acc = AccB
+			ocB := i.Encode() >> 12
+			if prev, dup := seen[ocB]; dup {
+				t.Fatalf("opcode %#x shared by %s and %sB", ocB, prev, op.Mnemonic())
+			}
+			seen[ocB] = op.Mnemonic() + "B"
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	lines := []string{
+		"MPYB R0,R1,R2",
+		"MACB+ R6,R5,R7",
+		"MACA- R1,R2,R3",
+		"MACTA- R8,R9,R11",
+		"SHIFTA R3,R15,R4",
+		"MPYSHIFTMACB R1,R2,R3",
+		"LD 0x70,R3",
+		"LD RND,R1",
+		"OUT R2",
+		"MOV R5,R6",
+		"NOP",
+	}
+	for _, line := range lines {
+		in, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		again, err := Parse(in.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", line, in.String(), err)
+		}
+		if again.Encode() != in.Encode() {
+			t.Fatalf("round trip changed encoding: %q -> %q", line, in.String())
+		}
+	}
+}
+
+func TestParseQuotedBinary(t *testing.T) {
+	in, err := Parse(`LD "01110000",R3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Imm != 0x70 || in.RD != 3 || in.Op != OpLdi {
+		t.Fatalf("parsed %+v", in)
+	}
+}
+
+func TestParseRndBecomesLdRnd(t *testing.T) {
+	in, err := Parse("LD RND,R9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != OpLdRnd || !in.RndImm || in.RD != 9 {
+		t.Fatalf("parsed %+v", in)
+	}
+	if !strings.Contains(in.String(), "RND") {
+		t.Fatalf("String() lost RND: %s", in.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"BOGUS R1,R2,R3",
+		"MPYA R1,R2",      // wrong arity
+		"MPYA R1,R2,R316", // bad register
+		"LD 0x1FF,R1",     // immediate too wide
+		"OUT",             // missing operand
+		"LD ,R1",
+	} {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q): expected error", line)
+		}
+	}
+}
+
+func TestAssembleProgram(t *testing.T) {
+	src := `
+		// randomize operands
+		LD RND,R1
+		LD RND,R0
+		MPYB R0,R1,R2   // exercise multiplier
+		OUT R2
+
+		; observe
+		OUT R0
+	`
+	prog, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 5 {
+		t.Fatalf("assembled %d instructions, want 5", len(prog))
+	}
+	dis := Disassemble(prog)
+	if !strings.Contains(dis, "MPYB R0,R1,R2") {
+		t.Fatalf("disassembly missing MPYB: %s", dis)
+	}
+	// Every disassembled line must carry a 17-bit binary field.
+	for _, line := range strings.Split(strings.TrimSpace(dis), "\n") {
+		bin := strings.Fields(line)[0]
+		if len(bin) != 17 {
+			t.Fatalf("binary field %q not 17 bits", bin)
+		}
+	}
+}
+
+func TestAssembleErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Assemble("NOP\nBOGUS\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMnemonicRendering(t *testing.T) {
+	cases := map[string]Instr{
+		"MACA+ R1,R2,R3":  {Op: OpMacP, Acc: AccA, RA: 1, RB: 2, RD: 3},
+		"MACB- R1,R2,R3":  {Op: OpMacM, Acc: AccB, RA: 1, RB: 2, RD: 3},
+		"MPYA R1,R2,R3":   {Op: OpMpy, Acc: AccA, RA: 1, RB: 2, RD: 3},
+		"SHIFTB R1,R2,R3": {Op: OpShift, Acc: AccB, RA: 1, RB: 2, RD: 3},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if OpOut.WritesDest() || OpNop.WritesDest() {
+		t.Fatal("OUT/NOP must not write dest")
+	}
+	if !OpLdi.WritesDest() || !OpMacP.WritesDest() || !OpMov.WritesDest() {
+		t.Fatal("LD/MAC/MOV must write dest")
+	}
+	if !OpMacP.UsesSourceRegs() || OpLdi.UsesSourceRegs() {
+		t.Fatal("source-register predicate wrong")
+	}
+	if len(Ops()) != int(numOps) {
+		t.Fatal("Ops() incomplete")
+	}
+}

@@ -1,0 +1,30 @@
+package logic
+
+// LiveNets returns, for every net, whether it lies in the input cone of
+// some primary output (crossing flip-flops through their D pins). Nets
+// outside that cone drive nothing observable: a synthesis tool would
+// have pruned them, and a fault simulator excludes their faults from
+// the fault universe as untestable-by-construction. The fault package
+// uses this to build realistic fault lists (e.g. decoder one-hot lines
+// for opcodes nothing consumes are dead logic).
+func (n *Netlist) LiveNets() []bool {
+	live := make([]bool, len(n.gates))
+	var stack []NetID
+	mark := func(id NetID) {
+		if !live[id] {
+			live[id] = true
+			stack = append(stack, id)
+		}
+	}
+	for _, o := range n.outputs {
+		mark(o)
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, in := range n.gates[id].In {
+			mark(in)
+		}
+	}
+	return live
+}

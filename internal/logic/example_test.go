@@ -1,0 +1,50 @@
+package logic_test
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Example builds a two-bit equality comparator and simulates it.
+func Example() {
+	b := logic.NewBuilder()
+	a := b.InputBus("a", 2)
+	x := b.InputBus("x", 2)
+	eq := b.And(b.Xnor(a[0], x[0]), b.Xnor(a[1], x[1]))
+	out := b.MarkOutput(eq, "eq")
+	n, err := b.Build(logic.BuildOptions{})
+	if err != nil {
+		panic(err)
+	}
+	s := logic.NewSimulator(n)
+	for _, pair := range [][2]uint64{{1, 1}, {2, 3}} {
+		s.SetInputBus(a, pair[0])
+		s.SetInputBus(x, pair[1])
+		s.Settle()
+		fmt.Printf("%d==%d: %v\n", pair[0], pair[1], s.Value(out))
+	}
+	// Output:
+	// 1==1: true
+	// 2==3: false
+}
+
+// ExampleWordSim shows fault injection into one of the 64 parallel
+// machine lanes — the primitive the stuck-at fault simulator is built
+// on.
+func ExampleWordSim() {
+	b := logic.NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	out := b.MarkOutput(b.And(x, y), "out")
+	n, _ := b.Build(logic.BuildOptions{})
+
+	w := logic.NewWordSim(n)
+	w.Inject(out, true, 5) // stuck-at-1 in lane 5
+	w.SetInput(x, true)
+	w.SetInput(y, false) // good machine: AND = 0
+	w.Settle()
+	fmt.Printf("lanes differing from the good machine: %#x\n", w.OutputDiff())
+	// Output:
+	// lanes differing from the good machine: 0x20
+}

@@ -1,0 +1,335 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func buildFullAdder(t *testing.T, opts BuildOptions) (*Netlist, Bus, Bus, NetID, Bus, NetID) {
+	t.Helper()
+	b := NewBuilder()
+	a := b.InputBus("a", 4)
+	bb := b.InputBus("b", 4)
+	cin := b.Input("cin")
+	sum := make(Bus, 4)
+	carry := cin
+	for i := 0; i < 4; i++ {
+		sum[i] = b.Xor(a[i], bb[i], carry)
+		carry = b.Or(b.And(a[i], bb[i]), b.And(a[i], carry), b.And(bb[i], carry))
+	}
+	out := b.MarkOutputBus(sum, "sum")
+	cout := b.MarkOutput(carry, "cout")
+	n, err := b.Build(opts)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return n, a, bb, cin, out, cout
+}
+
+func TestAdderExhaustive(t *testing.T) {
+	for _, branches := range []bool{false, true} {
+		n, a, bb, cin, sum, cout := buildFullAdder(t, BuildOptions{InsertFanoutBranches: branches})
+		s := NewSimulator(n)
+		for x := 0; x < 16; x++ {
+			for y := 0; y < 16; y++ {
+				for c := 0; c < 2; c++ {
+					s.SetInputBus(a, uint64(x))
+					s.SetInputBus(bb, uint64(y))
+					s.SetInput(cin, c == 1)
+					s.Settle()
+					want := x + y + c
+					got := int(s.BusValue(sum))
+					if s.Value(cout) {
+						got |= 16
+					}
+					if got != want {
+						t.Fatalf("branches=%v %d+%d+%d: got %d want %d", branches, x, y, c, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGateOps(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	and := b.MarkOutput(b.And(x, y), "and")
+	or := b.MarkOutput(b.Or(x, y), "or")
+	nand := b.MarkOutput(b.Nand(x, y), "nand")
+	nor := b.MarkOutput(b.Nor(x, y), "nor")
+	xor := b.MarkOutput(b.Xor(x, y), "xor")
+	xnor := b.MarkOutput(b.Xnor(x, y), "xnor")
+	not := b.MarkOutput(b.Not(x), "not")
+	mux := b.MarkOutput(b.Mux2(x, y, b.Const(true)), "mux")
+	n, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(n)
+	for xi := 0; xi < 2; xi++ {
+		for yi := 0; yi < 2; yi++ {
+			xv, yv := xi == 1, yi == 1
+			s.SetInput(x, xv)
+			s.SetInput(y, yv)
+			s.Settle()
+			check := func(id NetID, want bool, name string) {
+				if s.Value(id) != want {
+					t.Errorf("x=%v y=%v %s: got %v want %v", xv, yv, name, s.Value(id), want)
+				}
+			}
+			check(and, xv && yv, "and")
+			check(or, xv || yv, "or")
+			check(nand, !(xv && yv), "nand")
+			check(nor, !(xv || yv), "nor")
+			check(xor, xv != yv, "xor")
+			check(xnor, xv == yv, "xnor")
+			check(not, !xv, "not")
+			muxWant := yv
+			if xv {
+				muxWant = true
+			}
+			check(mux, muxWant, "mux")
+		}
+	}
+}
+
+func TestDFFShiftRegister(t *testing.T) {
+	b2 := NewBuilder()
+	din := b2.Input("din")
+	q0 := b2.DFF(din, "q0")
+	q1 := b2.DFF(q0, "q1")
+	q2 := b2.DFF(q1, "q2")
+	out := b2.MarkOutput(q2, "out")
+	n, err := b2.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSimulator(n)
+	pattern := []bool{true, false, true, true, false, false, true}
+	var got []bool
+	for i := 0; i < len(pattern)+3; i++ {
+		if i < len(pattern) {
+			s.SetInput(din, pattern[i])
+		} else {
+			s.SetInput(din, false)
+		}
+		s.Settle()
+		got = append(got, s.Value(out))
+		s.Step()
+	}
+	// Output lags input by 3 cycles; first 3 samples are reset zeros.
+	for i, p := range pattern {
+		if got[i+3] != p {
+			t.Fatalf("shift register: cycle %d got %v want %v (all: %v)", i+3, got[i+3], p, got)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if got[i] {
+			t.Fatalf("shift register: cycle %d expected reset 0", i)
+		}
+	}
+}
+
+func TestReconvergentFanoutBuilds(t *testing.T) {
+	// The builder API cannot express combinational loops (gates only read
+	// already-created nets), so the interesting structural case is
+	// reconvergent fanout, which must levelize cleanly with and without
+	// branch insertion.
+	b := NewBuilder()
+	x := b.Input("x")
+	d1 := b.Not(x)
+	d2 := b.Not(x)
+	y := b.And(d1, d2)
+	b.MarkOutput(y, "y")
+	if _, err := b.Build(BuildOptions{InsertFanoutBranches: true}); err != nil {
+		t.Fatalf("diamond should build: %v", err)
+	}
+}
+
+func TestBranchInsertionPreservesFunction(t *testing.T) {
+	plain, a1, b1, c1, s1, co1 := buildFullAdder(t, BuildOptions{})
+	branched, a2, b2, c2, s2, co2 := buildFullAdder(t, BuildOptions{InsertFanoutBranches: true})
+	if branched.NumNets() <= plain.NumNets() {
+		t.Fatalf("branch insertion should add nets: %d vs %d", branched.NumNets(), plain.NumNets())
+	}
+	sp := NewSimulator(plain)
+	sb := NewSimulator(branched)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x, y := rng.Uint64()&15, rng.Uint64()&15
+		c := rng.Intn(2) == 1
+		sp.SetInputBus(a1, x)
+		sp.SetInputBus(b1, y)
+		sp.SetInput(c1, c)
+		sp.Settle()
+		sb.SetInputBus(a2, x)
+		sb.SetInputBus(b2, y)
+		sb.SetInput(c2, c)
+		sb.Settle()
+		if sp.BusValue(s1) != sb.BusValue(s2) || sp.Value(co1) != sb.Value(co2) {
+			t.Fatalf("branch insertion changed function at x=%d y=%d c=%v", x, y, c)
+		}
+	}
+}
+
+func TestWordSimMatchesScalar(t *testing.T) {
+	n, a, bb, cin, sum, cout := buildFullAdder(t, BuildOptions{InsertFanoutBranches: true})
+	s := NewSimulator(n)
+	w := NewWordSim(n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		x, y := rng.Uint64()&15, rng.Uint64()&15
+		c := rng.Intn(2) == 1
+		s.SetInputBus(a, x)
+		s.SetInputBus(bb, y)
+		s.SetInput(cin, c)
+		s.Settle()
+		w.SetInputBus(a, x)
+		w.SetInputBus(bb, y)
+		w.SetInput(cin, c)
+		w.Settle()
+		if w.LaneBusValue(sum, 0) != s.BusValue(sum) {
+			t.Fatalf("lane0 sum mismatch at %d+%d", x, y)
+		}
+		if (w.Word(cout)&1 == 1) != s.Value(cout) {
+			t.Fatalf("lane0 cout mismatch at %d+%d", x, y)
+		}
+		// All lanes identical without injections.
+		for _, id := range append(append(Bus{}, sum...), cout) {
+			v := w.Word(id)
+			if v != 0 && v != ^uint64(0) {
+				t.Fatalf("uninjected lanes diverged on net %d: %016x", id, v)
+			}
+		}
+	}
+}
+
+func TestWordSimInjection(t *testing.T) {
+	n, a, bb, cin, sum, _ := buildFullAdder(t, BuildOptions{InsertFanoutBranches: true})
+	w := NewWordSim(n)
+	// Force sum[0]'s driving net stuck-at-1 in lane 3.
+	target := sum[0]
+	w.Inject(target, true, 3)
+	w.SetInputBus(a, 0)
+	w.SetInputBus(bb, 0)
+	w.SetInput(cin, false)
+	w.Settle()
+	if w.Word(target)&(1<<3) == 0 {
+		t.Fatal("injected lane not forced to 1")
+	}
+	if w.Word(target)&1 != 0 {
+		t.Fatal("good lane corrupted by injection")
+	}
+	diff := w.OutputDiff()
+	if diff&(1<<3) == 0 {
+		t.Fatalf("OutputDiff missed injected lane: %016x", diff)
+	}
+	if diff&^(1<<3) != 0 {
+		t.Fatalf("OutputDiff flagged clean lanes: %016x", diff)
+	}
+	w.ClearInjections()
+	w.Settle()
+	if w.OutputDiff() != 0 {
+		t.Fatal("diff persists after ClearInjections on combinational circuit")
+	}
+}
+
+func TestWordSimLaneState(t *testing.T) {
+	b := NewBuilder()
+	din := b.Input("din")
+	q0 := b.DFF(din, "q0")
+	q1 := b.DFF(q0, "q1")
+	b.MarkOutput(q1, "out")
+	n, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWordSim(n)
+	w.SetInput(din, true)
+	w.Step()
+	w.SetInput(din, false)
+	w.Step()
+	// q0=0, q1=1 in every lane now.
+	st := make([]uint64, w.StateWords())
+	w.LaneState(0, st)
+	if st[0] != 0b10 {
+		t.Fatalf("LaneState got %b want 10", st[0])
+	}
+	// Move lane 5 to a different state and read it back.
+	w.SetLaneState(5, []uint64{0b01})
+	w.LaneState(5, st)
+	if st[0] != 0b01 {
+		t.Fatalf("SetLaneState round-trip got %b want 01", st[0])
+	}
+	w.LaneState(0, st)
+	if st[0] != 0b10 {
+		t.Fatalf("lane 0 state disturbed: %b", st[0])
+	}
+}
+
+func TestRegions(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	y := b.Input("y")
+	var inner NetID
+	b.Scoped("alu", func() {
+		b.Scoped("add", func() {
+			inner = b.And(x, y)
+		})
+	})
+	b.MarkOutput(inner, "out")
+	n, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.RegionNets("alu"); len(got) != 1 || got[0] != inner {
+		t.Fatalf("alu region = %v, want [%d]", got, inner)
+	}
+	if got := n.RegionNets("alu.add"); len(got) != 1 || got[0] != inner {
+		t.Fatalf("alu.add region = %v, want [%d]", got, inner)
+	}
+	if regions := n.Regions(); len(regions) != 2 {
+		t.Fatalf("regions = %v", regions)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder()
+	x := b.Input("x")
+	b.And(x) // too few inputs
+	if _, err := b.Build(BuildOptions{}); err == nil {
+		t.Fatal("expected arity error")
+	}
+
+	b2 := NewBuilder()
+	b2.Input("x")
+	b2.Input("x") // duplicate name
+	if _, err := b2.Build(BuildOptions{}); err == nil {
+		t.Fatal("expected duplicate-name error")
+	}
+
+	b3 := NewBuilder()
+	b3.PopScope()
+	if _, err := b3.Build(BuildOptions{}); err == nil {
+		t.Fatal("expected scope underflow error")
+	}
+}
+
+func TestLookupAndStats(t *testing.T) {
+	n, _, _, _, _, _ := buildFullAdder(t, BuildOptions{})
+	if n.Lookup("a[0]") == InvalidNet {
+		t.Fatal("Lookup a[0] failed")
+	}
+	if n.Lookup("nope") != InvalidNet {
+		t.Fatal("Lookup nonexistent should fail")
+	}
+	st := n.Stats()
+	if st.Inputs != 9 || st.Outputs != 5 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Levels < 4 {
+		t.Fatalf("4-bit ripple adder should have >=4 levels, got %d", st.Levels)
+	}
+}

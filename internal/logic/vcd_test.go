@@ -1,0 +1,53 @@
+package logic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVCDWriter(t *testing.T) {
+	b := NewBuilder()
+	din := b.Input("din")
+	q := b.DFF(din, "q")
+	b.MarkOutput(q, "out")
+	n, err := b.Build(BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	v := NewVCDWriter(&sb, n, nil)
+	s := NewSimulator(n)
+	for _, bit := range []bool{true, false, true, true} {
+		s.SetInput(din, bit)
+		s.Settle()
+		v.Sample(s)
+		s.Step()
+	}
+	if v.Err() != nil {
+		t.Fatal(v.Err())
+	}
+	dump := sb.String()
+	for _, want := range []string{
+		"$timescale", "$var wire 1", "din", "$enddefinitions", "#0", "#10",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("vcd missing %q:\n%s", want, dump)
+		}
+	}
+	// Value changes only on transitions: din toggles 1,0,1,1 → three
+	// change records for din.
+	if got := strings.Count(dump, "\n1!"); got == 0 {
+		t.Error("no value-change records emitted")
+	}
+}
+
+func TestVCDCodes(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		c := vcdCode(i)
+		if c == "" || seen[c] {
+			t.Fatalf("code collision or empty at %d: %q", i, c)
+		}
+		seen[c] = true
+	}
+}

@@ -1,0 +1,160 @@
+package logic
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteVerilog emits the netlist as a structural Verilog module built
+// from primitive gates and DFF instances — the interchange format the
+// paper's flow produces with Design Compiler and feeds to Tetramax.
+// Net names follow the netlist's names where present (sanitized for
+// Verilog), with n<id> fallbacks; primary inputs and outputs become
+// module ports, and every DFF is an always @(posedge clk) assignment
+// with a synchronous active-high reset matching the simulator's
+// power-on state.
+func WriteVerilog(w io.Writer, n *Netlist, moduleName string) error {
+	names := make([]string, n.NumNets())
+	used := map[string]bool{"clk": true, "rst": true}
+	sanitize := func(s string) string {
+		var sb strings.Builder
+		for _, r := range s {
+			switch {
+			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+				sb.WriteRune(r)
+			default:
+				sb.WriteByte('_')
+			}
+		}
+		out := sb.String()
+		if out == "" || out[0] >= '0' && out[0] <= '9' {
+			out = "n_" + out
+		}
+		return out
+	}
+	for id := 0; id < n.NumNets(); id++ {
+		name := n.NameOf(NetID(id))
+		if name != "" {
+			name = sanitize(name)
+			if used[name] {
+				name = fmt.Sprintf("%s_%d", name, id)
+			}
+		} else {
+			name = fmt.Sprintf("n%d", id)
+		}
+		used[name] = true
+		names[id] = name
+	}
+
+	var ports []string
+	ports = append(ports, "clk", "rst")
+	for _, in := range n.Inputs() {
+		ports = append(ports, names[in])
+	}
+	for _, out := range n.Outputs() {
+		ports = append(ports, names[out])
+	}
+	if _, err := fmt.Fprintf(w, "module %s(%s);\n", sanitize(moduleName), strings.Join(ports, ", ")); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  input clk, rst;\n")
+	for _, in := range n.Inputs() {
+		fmt.Fprintf(w, "  input %s;\n", names[in])
+	}
+	for _, out := range n.Outputs() {
+		fmt.Fprintf(w, "  output %s;\n", names[out])
+	}
+
+	isOutput := make(map[NetID]bool, len(n.Outputs()))
+	for _, out := range n.Outputs() {
+		isOutput[out] = true
+	}
+	var wires, regs []string
+	for id := 0; id < n.NumNets(); id++ {
+		g := n.Gate(NetID(id))
+		switch g.Kind {
+		case GateInput:
+			continue
+		case GateDFF:
+			regs = append(regs, names[id])
+		default:
+			if !isOutput[NetID(id)] {
+				wires = append(wires, names[id])
+			}
+		}
+	}
+	sort.Strings(wires)
+	for _, chunk := range chunked(wires, 8) {
+		fmt.Fprintf(w, "  wire %s;\n", strings.Join(chunk, ", "))
+	}
+	for _, chunk := range chunked(regs, 8) {
+		fmt.Fprintf(w, "  reg %s;\n", strings.Join(chunk, ", "))
+	}
+
+	inList := func(g Gate, sep string) string {
+		parts := make([]string, len(g.In))
+		for i, in := range g.In {
+			parts[i] = names[in]
+		}
+		return strings.Join(parts, sep)
+	}
+	for id := 0; id < n.NumNets(); id++ {
+		g := n.Gate(NetID(id))
+		lhs := names[id]
+		switch g.Kind {
+		case GateInput, GateDFF:
+			continue
+		case GateConst0:
+			fmt.Fprintf(w, "  assign %s = 1'b0;\n", lhs)
+		case GateConst1:
+			fmt.Fprintf(w, "  assign %s = 1'b1;\n", lhs)
+		case GateBuf:
+			fmt.Fprintf(w, "  assign %s = %s;\n", lhs, names[g.In[0]])
+		case GateNot:
+			fmt.Fprintf(w, "  assign %s = ~%s;\n", lhs, names[g.In[0]])
+		case GateAnd:
+			fmt.Fprintf(w, "  assign %s = %s;\n", lhs, inList(g, " & "))
+		case GateOr:
+			fmt.Fprintf(w, "  assign %s = %s;\n", lhs, inList(g, " | "))
+		case GateNand:
+			fmt.Fprintf(w, "  assign %s = ~(%s);\n", lhs, inList(g, " & "))
+		case GateNor:
+			fmt.Fprintf(w, "  assign %s = ~(%s);\n", lhs, inList(g, " | "))
+		case GateXor:
+			fmt.Fprintf(w, "  assign %s = %s;\n", lhs, inList(g, " ^ "))
+		case GateXnor:
+			fmt.Fprintf(w, "  assign %s = ~(%s);\n", lhs, inList(g, " ^ "))
+		case GateMux2:
+			fmt.Fprintf(w, "  assign %s = %s ? %s : %s;\n",
+				lhs, names[g.In[0]], names[g.In[2]], names[g.In[1]])
+		default:
+			return fmt.Errorf("logic: WriteVerilog: unknown gate kind %v", g.Kind)
+		}
+	}
+
+	fmt.Fprintf(w, "  always @(posedge clk) begin\n")
+	fmt.Fprintf(w, "    if (rst) begin\n")
+	for _, q := range n.DFFs() {
+		fmt.Fprintf(w, "      %s <= 1'b0;\n", names[q])
+	}
+	fmt.Fprintf(w, "    end else begin\n")
+	for _, q := range n.DFFs() {
+		fmt.Fprintf(w, "      %s <= %s;\n", names[q], names[n.Gate(q).In[0]])
+	}
+	fmt.Fprintf(w, "    end\n  end\nendmodule\n")
+	return nil
+}
+
+func chunked(items []string, size int) [][]string {
+	var out [][]string
+	for len(items) > size {
+		out = append(out, items[:size])
+		items = items[size:]
+	}
+	if len(items) > 0 {
+		out = append(out, items)
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package logic
+
+import "fmt"
+
+// WordSim evaluates a Netlist with 64 independent machines in parallel,
+// one per bit lane of a uint64 word. All lanes share the same primary
+// input values each cycle; they diverge only through per-net injection
+// masks, which is exactly the model the stuck-at fault simulator needs:
+// lane 0 is the fault-free machine and lanes 1..63 each carry one fault.
+type WordSim struct {
+	n    *Netlist
+	vals []uint64
+	next []uint64
+
+	// Injection masks applied after each net is evaluated:
+	//   v = (v &^ sa0[id]) | sa1[id]
+	// A lane bit set in sa0 forces that lane to 0; in sa1, to 1.
+	sa0 []uint64
+	sa1 []uint64
+
+	// injected lists nets with non-zero masks so ClearInjections is O(k).
+	injected []NetID
+}
+
+// NewWordSim returns a WordSim with all lanes reset to state 0.
+func NewWordSim(n *Netlist) *WordSim {
+	w := &WordSim{
+		n:    n,
+		vals: make([]uint64, n.NumNets()),
+		next: make([]uint64, len(n.dffs)),
+		sa0:  make([]uint64, n.NumNets()),
+		sa1:  make([]uint64, n.NumNets()),
+	}
+	w.Reset()
+	return w
+}
+
+// Reset clears every lane's nets and flip-flops to 0 and removes all
+// injections.
+func (w *WordSim) Reset() {
+	for i := range w.vals {
+		w.vals[i] = 0
+	}
+	for i := range w.next {
+		w.next[i] = 0
+	}
+	for i := range w.n.gates {
+		if w.n.gates[i].Kind == GateConst1 {
+			w.vals[i] = ^uint64(0)
+		}
+	}
+	w.ClearInjections()
+}
+
+// Inject forces net id stuck-at value in lane (1..63). Lane 0 is
+// reserved for the fault-free machine.
+func (w *WordSim) Inject(id NetID, stuckAt1 bool, lane uint) {
+	if lane == 0 || lane > 63 {
+		panic(fmt.Sprintf("logic: Inject lane %d out of range 1..63", lane))
+	}
+	if w.sa0[id] == 0 && w.sa1[id] == 0 {
+		w.injected = append(w.injected, id)
+	}
+	if stuckAt1 {
+		w.sa1[id] |= 1 << lane
+	} else {
+		w.sa0[id] |= 1 << lane
+	}
+}
+
+// ApplyInjectionsToValues re-forces every injected net's current value
+// word. Call after loading lane state with SetLaneState so a fault sited
+// on a DFF Q net holds from the very first settle of a segment.
+func (w *WordSim) ApplyInjectionsToValues() {
+	for _, id := range w.injected {
+		w.vals[id] = (w.vals[id] &^ w.sa0[id]) | w.sa1[id]
+	}
+}
+
+// ClearInjections removes all fault injections (lanes keep their
+// diverged state until Reset).
+func (w *WordSim) ClearInjections() {
+	for _, id := range w.injected {
+		w.sa0[id] = 0
+		w.sa1[id] = 0
+	}
+	w.injected = w.injected[:0]
+}
+
+// SetInput drives a primary input identically across all lanes.
+func (w *WordSim) SetInput(id NetID, v bool) {
+	if w.n.gates[id].Kind != GateInput {
+		panic(fmt.Sprintf("logic: SetInput on non-input net %d", id))
+	}
+	if v {
+		w.vals[id] = ^uint64(0)
+	} else {
+		w.vals[id] = 0
+	}
+	// Input nets are themselves fault sites (stuck-at on a primary input).
+	w.vals[id] = (w.vals[id] &^ w.sa0[id]) | w.sa1[id]
+}
+
+// SetInputBus drives a bus of primary inputs from the low bits of v.
+func (w *WordSim) SetInputBus(bus Bus, v uint64) {
+	for i, id := range bus {
+		w.SetInput(id, v>>uint(i)&1 == 1)
+	}
+}
+
+// Word returns the 64-lane value word of net id after the last Step.
+func (w *WordSim) Word(id NetID) uint64 { return w.vals[id] }
+
+// LaneBusValue extracts the bus value seen by one lane.
+func (w *WordSim) LaneBusValue(bus Bus, lane uint) uint64 {
+	var v uint64
+	for i, id := range bus {
+		if w.vals[id]>>lane&1 == 1 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Step settles the combinational frame and clocks all DFFs in every lane.
+func (w *WordSim) Step() {
+	w.Settle()
+	w.ClockAfterSettle()
+}
+
+// ClockAfterSettle clocks all DFFs using the already-settled frame. Use
+// it when outputs must be sampled between Settle and the clock edge (the
+// fault simulator's strobe point).
+func (w *WordSim) ClockAfterSettle() {
+	for i, q := range w.n.dffs {
+		w.next[i] = w.vals[w.n.gates[q].In[0]]
+	}
+	for i, q := range w.n.dffs {
+		// DFF outputs are fault sites too (stuck-at on the Q net).
+		w.vals[q] = (w.next[i] &^ w.sa0[q]) | w.sa1[q]
+	}
+}
+
+// CaptureNext records every DFF's next-state (D value) from the
+// currently settled frame without clocking. CommitNext later applies it.
+// The pair lets a caller interpose work (e.g. a re-settle with fault
+// injections for transition-fault detection) between computing the good
+// next state and the clock edge.
+func (w *WordSim) CaptureNext() {
+	for i, q := range w.n.dffs {
+		w.next[i] = w.vals[w.n.gates[q].In[0]]
+	}
+}
+
+// CommitNext clocks the DFFs with the values recorded by CaptureNext.
+func (w *WordSim) CommitNext() {
+	for i, q := range w.n.dffs {
+		w.vals[q] = (w.next[i] &^ w.sa0[q]) | w.sa1[q]
+	}
+}
+
+// Settle evaluates the combinational frame without clocking.
+func (w *WordSim) Settle() {
+	vals, sa0, sa1 := w.vals, w.sa0, w.sa1
+	for _, id := range w.n.order {
+		g := &w.n.gates[id]
+		var v uint64
+		switch g.Kind {
+		case GateBuf:
+			v = vals[g.In[0]]
+		case GateNot:
+			v = ^vals[g.In[0]]
+		case GateAnd:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v &= vals[in]
+			}
+		case GateOr:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v |= vals[in]
+			}
+		case GateNand:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v &= vals[in]
+			}
+			v = ^v
+		case GateNor:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v |= vals[in]
+			}
+			v = ^v
+		case GateXor:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v ^= vals[in]
+			}
+		case GateXnor:
+			v = vals[g.In[0]]
+			for _, in := range g.In[1:] {
+				v ^= vals[in]
+			}
+			v = ^v
+		case GateMux2:
+			sel := vals[g.In[0]]
+			v = (vals[g.In[1]] &^ sel) | (vals[g.In[2]] & sel)
+		default:
+			panic(fmt.Sprintf("logic: Settle on %s", g.Kind))
+		}
+		vals[id] = (v &^ sa0[id]) | sa1[id]
+	}
+}
+
+// OutputDiff returns, for each primary output, a mask of lanes whose
+// value differs from lane 0 (the good machine), OR-ed together.
+func (w *WordSim) OutputDiff() uint64 {
+	var diff uint64
+	for _, id := range w.n.outputs {
+		v := w.vals[id]
+		good := v & 1
+		// Broadcast lane 0 across the word: 0 -> 0..0, 1 -> 1..1.
+		var ref uint64
+		if good == 1 {
+			ref = ^uint64(0)
+		}
+		diff |= v ^ ref
+	}
+	return diff &^ 1
+}
+
+// LaneState extracts one lane's DFF state as a packed bitset, one bit
+// per DFF in Netlist.DFFs order.
+func (w *WordSim) LaneState(lane uint, dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, q := range w.n.dffs {
+		if w.vals[q]>>lane&1 == 1 {
+			dst[i/64] |= 1 << uint(i%64)
+		}
+	}
+}
+
+// SetLaneState loads one lane's DFF state from a packed bitset.
+func (w *WordSim) SetLaneState(lane uint, src []uint64) {
+	bit := uint64(1) << lane
+	for i, q := range w.n.dffs {
+		if src[i/64]>>(uint(i)%64)&1 == 1 {
+			w.vals[q] |= bit
+		} else {
+			w.vals[q] &^= bit
+		}
+	}
+}
+
+// StateWords returns the number of uint64 words needed by LaneState.
+func (w *WordSim) StateWords() int { return (len(w.n.dffs) + 63) / 64 }
+
+// SetWords bulk-writes raw value words for the given nets (all lanes at
+// once) — used to restore pristine frame-source values between fault
+// groups in transition-fault simulation.
+func (w *WordSim) SetWords(nets []NetID, words []uint64) {
+	for i, id := range nets {
+		w.vals[id] = words[i]
+	}
+}

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+	"repro/internal/isa"
+)
+
+// Config tunes the measurement engine.
+type Config struct {
+	// CTrials is the number of behavioral simulations per row for the
+	// controllability metric. The paper used 2000 for narrow signals and
+	// "much more" (via generated C++) for wide ones; 20000 is a usable
+	// default, 200000+ gives publication-quality wide-signal entropy.
+	CTrials int
+	// OGoodRuns is the number of good simulations per row for the
+	// observability metric; each spawns 2×n error injections per
+	// component (paper Section 2.2).
+	OGoodRuns int
+	// Seed makes the engine deterministic.
+	Seed int64
+	// CThreshold and OThreshold are the coverage thresholds
+	// (paper defaults: Cθ = 0.70, Oθ = 0.50).
+	CThreshold, OThreshold float64
+	// DrainCycles is how long outputs are watched past the end of a
+	// sequence when detecting propagated errors.
+	DrainCycles int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CTrials == 0 {
+		c.CTrials = 20000
+	}
+	if c.OGoodRuns == 0 {
+		c.OGoodRuns = 100
+	}
+	if c.CThreshold == 0 {
+		c.CThreshold = 0.70
+	}
+	if c.OThreshold == 0 {
+		c.OThreshold = 0.50
+	}
+	if c.DrainCycles == 0 {
+		c.DrainCycles = 6
+	}
+	return c
+}
+
+// Engine measures instruction-level testability metrics on the
+// behavioral DSP core.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine returns an Engine with defaults applied.
+func NewEngine(cfg Config) *Engine { return &Engine{cfg: cfg.withDefaults()} }
+
+// Config returns the engine's effective configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Sequence is an instruction sequence with a designated target
+// instruction whose metrics are measured. Wrapper instructions before
+// and after the target (the paper's Load/Out wrappers, Phase-2
+// propagation sequences) are part of the sequence.
+type Sequence struct {
+	Instrs []isa.Instr
+	Target int
+	State  AccState // accumulator state loaded before the run
+}
+
+// StandardSequence builds the paper's default measurement harness for an
+// instruction: the instruction itself, two delay slots, and an OUT
+// wrapper observing its destination register. Operand registers are R1
+// and R2 (their contents are randomized per trial), destination R3.
+func StandardSequence(op isa.Op, acc isa.Acc, state AccState) Sequence {
+	target := isa.Instr{Op: op, Acc: acc}
+	switch op.Format() {
+	case isa.Format1:
+		target.RA, target.RB, target.RD = 1, 2, 3
+	case isa.Format2:
+		target.RD = 3 // immediate randomized per trial
+	case isa.Format3:
+		target.Src = 1
+	case isa.Format4:
+		target.Src, target.RD = 1, 3
+	}
+	if op.Format() == isa.Format2 {
+		// Load immediates come from LFSR1 in the template architecture;
+		// measure them as random.
+		target.RndImm = true
+	}
+	seq := Sequence{Instrs: []isa.Instr{target}, State: state}
+	if op.WritesDest() {
+		seq.Instrs = append(seq.Instrs,
+			isa.Instr{Op: isa.OpNop},
+			isa.Instr{Op: isa.OpNop},
+			isa.Instr{Op: isa.OpOut, Src: target.RD},
+		)
+	}
+	return seq
+}
+
+// componentStage assigns each component to the pipeline stage (relative
+// to the target instruction) in which its metrics are sampled.
+type stage uint8
+
+const (
+	stageS2  stage = iota // target in decode/read
+	stageEX               // target in execute
+	stageAny              // sampled whenever exercised (output port)
+)
+
+func componentStage(c dsp.Component) stage {
+	switch c {
+	case dsp.CompRegPortA, dsp.CompRegPortB, dsp.CompForward:
+		return stageS2
+	case dsp.CompOutPort:
+		return stageAny
+	default:
+		return stageEX
+	}
+}
+
+// portSrc names one input port of a component: either another
+// component's observed output or a raw datapath signal.
+type portSrc struct {
+	isComp bool
+	comp   dsp.Component
+	sig    dsp.Signal
+}
+
+func (p portSrc) width() int {
+	if p.isComp {
+		return p.comp.Width()
+	}
+	return p.sig.Width()
+}
+
+// compPorts maps each component to its input ports, the signals the
+// controllability metric measures (paper Section 3.2). Register-file
+// read ports, the forwarding register and the accumulators are sampled
+// at the value they deliver/store.
+var compPorts = map[dsp.Component][]portSrc{
+	dsp.CompMultiplier: {{sig: dsp.SigOpA}, {sig: dsp.SigOpB}},
+	dsp.CompShifter:    {{sig: dsp.SigAccSel}, {sig: dsp.SigShiftAmt}},
+	dsp.CompAddSub:     {{isComp: true, comp: dsp.CompMuxA}, {isComp: true, comp: dsp.CompMuxB}},
+	dsp.CompMuxA:       {{isComp: true, comp: dsp.CompShifter}},
+	dsp.CompMuxB:       {{isComp: true, comp: dsp.CompMultiplier}},
+	dsp.CompTruncater:  {{isComp: true, comp: dsp.CompAddSub}},
+	dsp.CompAccA:       {{isComp: true, comp: dsp.CompTruncater}},
+	dsp.CompAccB:       {{isComp: true, comp: dsp.CompTruncater}},
+	dsp.CompLimiter:    {{isComp: true, comp: dsp.CompTruncater}},
+	dsp.CompRegPortA:   {{isComp: true, comp: dsp.CompRegPortA}},
+	dsp.CompRegPortB:   {{isComp: true, comp: dsp.CompRegPortB}},
+	dsp.CompForward:    {{isComp: true, comp: dsp.CompForward}},
+	dsp.CompBuffer:     {{sig: dsp.SigSrcVal}, {sig: dsp.SigImm}},
+	dsp.CompOutPort:    {{sig: dsp.SigOutVal}},
+}
+
+// recorder is the probe used for both metric passes. In monitoring mode
+// it captures component outputs, modes and signals inside the armed
+// windows. In injection mode it additionally overrides one component's
+// output during its window.
+type recorder struct {
+	window stage // currently armed window
+	armed  bool
+
+	compSeen [16]bool
+	compVal  [16]uint32
+	compMode [16]int
+	sigSeen  [8]bool
+	sigVal   [8]uint32
+
+	outSeen bool
+	outVal  uint32
+
+	inject     bool
+	injectComp dsp.Component
+	injectVal  uint32
+	injected   bool
+
+	// Accumulator contents right after the target's execute cycle
+	// (captured for accumulator error injection).
+	accAAfter, accBAfter uint32
+}
+
+func (r *recorder) resetTrial() {
+	r.compSeen = [16]bool{}
+	r.sigSeen = [8]bool{}
+	r.outSeen = false
+	r.injected = false
+}
+
+func (r *recorder) Observe(comp dsp.Component, mode int, value uint32) uint32 {
+	if comp == dsp.CompOutPort {
+		// Exercised by any OUT reaching writeback, wrapper included.
+		if !r.outSeen {
+			r.outSeen = true
+			r.outVal = value
+			if r.inject && r.injectComp == comp && !r.injected {
+				r.injected = true
+				return r.injectVal
+			}
+		}
+		return value
+	}
+	if !r.armed || componentStage(comp) != r.window {
+		return value
+	}
+	r.compSeen[comp] = true
+	r.compVal[comp] = value
+	r.compMode[comp] = mode
+	if r.inject && r.injectComp == comp && !r.injected {
+		r.injected = true
+		return r.injectVal
+	}
+	return value
+}
+
+func (r *recorder) Signal(sig dsp.Signal, value uint32) {
+	if sig == dsp.SigOutVal {
+		r.sigSeen[sig] = true
+		r.sigVal[sig] = value
+		return
+	}
+	if !r.armed || r.window != stageEX {
+		return
+	}
+	r.sigSeen[sig] = true
+	r.sigVal[sig] = value
+}
+
+// runTrial executes one randomized trial of the sequence. The returned
+// output trace has one entry per cycle. When inject targets an
+// accumulator, the stored state is corrupted right after the target's
+// execute cycle (errors at a register's output are errors in its
+// contents); other components are overridden through the probe.
+func (e *Engine) runTrial(core *dsp.Core, rec *recorder, seq Sequence, rng *rand.Rand,
+	injectAcc dsp.Component, accErr uint32) []uint8 {
+
+	core.Reset()
+	rec.resetTrial()
+	for i := 0; i < isa.NumRegs; i++ {
+		core.SetReg(i, uint8(rng.Uint32()))
+	}
+	var accA, accB uint32
+	if seq.State == AccRandom {
+		accA = rng.Uint32() & dsp.Mask18
+		accB = rng.Uint32() & dsp.Mask18
+	}
+	core.SetAcc(isa.AccA, accA)
+	core.SetAcc(isa.AccB, accB)
+
+	total := len(seq.Instrs) + e.cfg.DrainCycles
+	trace := make([]uint8, 0, total)
+	s2Cycle := seq.Target + 1
+	exCycle := seq.Target + dsp.EXLatency
+
+	for cyc := 0; cyc < total; cyc++ {
+		word := uint32(0)
+		if cyc < len(seq.Instrs) {
+			in := seq.Instrs[cyc]
+			if in.Op == isa.OpLdi || in.Op == isa.OpLdRnd {
+				if in.RndImm || in.Op == isa.OpLdRnd {
+					in.Imm = uint8(rng.Uint32())
+					in.Op = isa.OpLdi
+				}
+			}
+			word = in.Encode()
+		}
+		switch cyc {
+		case s2Cycle:
+			rec.armed, rec.window = true, stageS2
+		case exCycle:
+			rec.armed, rec.window = true, stageEX
+		default:
+			rec.armed = false
+		}
+		core.Step(word)
+		if cyc == exCycle {
+			rec.accAAfter = core.AccValue(isa.AccA)
+			rec.accBAfter = core.AccValue(isa.AccB)
+			if injectAcc == dsp.CompAccA {
+				core.SetAcc(isa.AccA, accErr)
+			}
+			if injectAcc == dsp.CompAccB {
+				core.SetAcc(isa.AccB, accErr)
+			}
+		}
+		trace = append(trace, core.Output())
+	}
+	rec.armed = false
+	return trace
+}
+
+// noAcc marks "no accumulator state injection" for runTrial.
+const noAcc = dsp.Component(255)

@@ -1,0 +1,130 @@
+// Package metrics implements the paper's instruction-level testability
+// metrics: the entropy-based controllability metric C(X) and the
+// error-injection observability metric O(X), assembled into a metrics
+// table (one row per instruction variant, one column per component mode)
+// that drives the self-test program generator.
+//
+// Controllability follows the paper's Section 2.1/3.2 definitions: the
+// normalized entropy of a component's *input* ports under behavioral
+// simulation, with statistically independent ports decomposed as
+// C(X,Y) = (H(X)+H(Y)) / (n_X + n_Y). Observability follows Section 2.2:
+// random erroneous values replace a component's output (2×n injections
+// per good simulation for an n-bit output) and O(X) is the fraction that
+// reach the core's primary output.
+package metrics
+
+import "math"
+
+// Histogram accumulates a value distribution for entropy estimation.
+// Widths up to HistArrayBits use a dense array; use one Histogram per
+// signal and Reset between measurements to reuse the allocation.
+type Histogram struct {
+	width  int
+	total  int
+	counts []uint32       // dense, when width <= HistArrayBits
+	sparse map[uint32]int // fallback for wider signals
+}
+
+// HistArrayBits is the widest signal backed by a dense count array
+// (2^18 × 4 bytes = 1 MiB, the accumulator width of the DSP core).
+const HistArrayBits = 18
+
+// NewHistogram returns an empty histogram for width-bit values.
+func NewHistogram(width int) *Histogram {
+	h := &Histogram{width: width}
+	if width <= HistArrayBits {
+		h.counts = make([]uint32, 1<<uint(width))
+	} else {
+		h.sparse = make(map[uint32]int)
+	}
+	return h
+}
+
+// Width returns the signal width in bits.
+func (h *Histogram) Width() int { return h.width }
+
+// Total returns the number of accumulated samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Add accumulates one sample (masked to the histogram width).
+func (h *Histogram) Add(v uint32) {
+	v &= uint32(1)<<uint(h.width) - 1
+	if h.counts != nil {
+		h.counts[v]++
+	} else {
+		h.sparse[v]++
+	}
+	h.total++
+}
+
+// Reset clears all counts, keeping the allocation.
+func (h *Histogram) Reset() {
+	if h.counts != nil {
+		for i := range h.counts {
+			h.counts[i] = 0
+		}
+	} else {
+		clear(h.sparse)
+	}
+	h.total = 0
+}
+
+// Entropy returns the Miller-Madow-corrected plug-in entropy estimate in
+// bits, clamped to [0, width]. The correction (K−1)/(2N·ln2) compensates
+// the plug-in estimator's downward bias when the sample count is not
+// much larger than the support size — the regime the paper's wide
+// (18-bit) accumulator signals put us in.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := float64(h.total)
+	var hPlug float64
+	distinct := 0
+	if h.counts != nil {
+		for _, c := range h.counts {
+			if c == 0 {
+				continue
+			}
+			distinct++
+			p := float64(c) / n
+			hPlug -= p * math.Log2(p)
+		}
+	} else {
+		for _, c := range h.sparse {
+			distinct++
+			p := float64(c) / n
+			hPlug -= p * math.Log2(p)
+		}
+	}
+	hMM := hPlug + float64(distinct-1)/(2*n*math.Ln2)
+	if hMM < 0 {
+		hMM = 0
+	}
+	if max := float64(h.width); hMM > max {
+		hMM = max
+	}
+	return hMM
+}
+
+// Controllability returns the normalized multi-port controllability:
+// the sum of per-port entropies divided by the total input width,
+// following the paper's independence decomposition.
+func Controllability(ports ...*Histogram) float64 {
+	var hSum, wSum float64
+	for _, p := range ports {
+		if p.Total() == 0 {
+			continue
+		}
+		hSum += p.Entropy()
+		wSum += float64(p.Width())
+	}
+	if wSum == 0 {
+		return 0
+	}
+	c := hSum / wSum
+	if c > 1 {
+		c = 1
+	}
+	return c
+}

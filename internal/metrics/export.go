@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV exports the metrics table as CSV: one row per instruction
+// variant, two columns (C and O) per component mode, empty cells for
+// inactive combinations. Spreadsheet-friendly form of Render.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"instruction"}
+	for _, c := range t.Cols {
+		header = append(header, c.Label()+" C", c.Label()+" O")
+	}
+	header = append(header, "covered columns")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for r, row := range t.Rows {
+		rec := []string{row.Name}
+		covered := 0
+		for c := range t.Cols {
+			cell := t.Cells[r][c]
+			if !cell.Active {
+				rec = append(rec, "", "")
+				continue
+			}
+			rec = append(rec,
+				strconv.FormatFloat(cell.C, 'f', 3, 64),
+				strconv.FormatFloat(cell.O, 'f', 3, 64))
+			if t.Covered(r, c) {
+				covered++
+			}
+		}
+		rec = append(rec, strconv.Itoa(covered))
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Diff compares two tables cell by cell and returns a report of entries
+// whose metrics moved by more than tol — the regression check for
+// metric-engine changes.
+func Diff(a, b *Table, tol float64) []string {
+	var out []string
+	if len(a.Rows) != len(b.Rows) || len(a.Cols) != len(b.Cols) {
+		return []string{fmt.Sprintf("shape mismatch: %dx%d vs %dx%d",
+			len(a.Rows), len(a.Cols), len(b.Rows), len(b.Cols))}
+	}
+	for r := range a.Rows {
+		for c := range a.Cols {
+			ca, cb := a.Cells[r][c], b.Cells[r][c]
+			if ca.Active != cb.Active {
+				out = append(out, fmt.Sprintf("%s/%s: active %v vs %v",
+					a.Rows[r].Name, a.Cols[c].Label(), ca.Active, cb.Active))
+				continue
+			}
+			if !ca.Active {
+				continue
+			}
+			if abs(ca.C-cb.C) > tol {
+				out = append(out, fmt.Sprintf("%s/%s: C %.3f vs %.3f",
+					a.Rows[r].Name, a.Cols[c].Label(), ca.C, cb.C))
+			}
+			if abs(ca.O-cb.O) > tol {
+				out = append(out, fmt.Sprintf("%s/%s: O %.3f vs %.3f",
+					a.Rows[r].Name, a.Cols[c].Label(), ca.O, cb.O))
+			}
+		}
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

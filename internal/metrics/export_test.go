@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func tinyTable() *Table {
+	return &Table{
+		Rows: []Row{{Name: "mpy"}, {Name: "shift"}},
+		Cols: []Column{{Comp: dsp.CompMultiplier}, {Comp: dsp.CompShifter, Mode: 1}},
+		Cells: [][]Cell{
+			{{Active: true, C: 0.99, O: 0.71}, {}},
+			{{Active: true, C: 0.98, O: 0.12}, {Active: true, C: 0.95, O: 0.64}},
+		},
+		CThreshold: 0.70,
+		OThreshold: 0.50,
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := tinyTable().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "instruction,Multiplier C,Multiplier O,Shifter 01 C") {
+		t.Fatalf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "mpy,0.990,0.710,,") {
+		t.Fatalf("row 1: %s", lines[1])
+	}
+	// mpy covers Multiplier only; shift covers both columns? shift's
+	// Multiplier O=0.12 fails Oθ, Shifter 01 passes.
+	if !strings.HasSuffix(lines[1], ",1") || !strings.HasSuffix(lines[2], ",1") {
+		t.Fatalf("covered counts wrong:\n%s", out)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := tinyTable()
+	b := tinyTable()
+	if d := Diff(a, b, 0.01); len(d) != 0 {
+		t.Fatalf("identical tables diff: %v", d)
+	}
+	b.Cells[0][0].C = 0.80
+	if d := Diff(a, b, 0.01); len(d) != 1 || !strings.Contains(d[0], "mpy/Multiplier") {
+		t.Fatalf("diff = %v", d)
+	}
+	b.Cells[1][1].Active = false
+	if d := Diff(a, b, 0.01); len(d) != 2 {
+		t.Fatalf("diff = %v", d)
+	}
+	c := tinyTable()
+	c.Cols = c.Cols[:1]
+	if d := Diff(a, c, 0.01); len(d) != 1 || !strings.Contains(d[0], "shape") {
+		t.Fatalf("shape diff = %v", d)
+	}
+}

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// MeasureSequence computes one metrics-table row for the target
+// instruction of a sequence: controllability from CTrials monitored
+// runs and observability from OGoodRuns × 2×n error injections per
+// component. The returned cells align with StandardColumns().
+func (e *Engine) MeasureSequence(seq Sequence) []Cell {
+	cols := StandardColumns()
+	cells := make([]Cell, len(cols))
+	colIdx := func(comp dsp.Component, mode int) int {
+		for i, c := range cols {
+			if c.Comp == comp && c.Mode == mode {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// ---- Controllability pass ----
+	hists := make([][]*Histogram, len(cols))
+	core := dsp.New()
+	rec := &recorder{}
+	core.SetProbe(rec)
+	rng := rand.New(rand.NewSource(e.cfg.Seed))
+	for trial := 0; trial < e.cfg.CTrials; trial++ {
+		e.runTrial(core, rec, seq, rng, noAcc, 0)
+		for _, comp := range dsp.Components() {
+			mode, seen := observedMode(rec, comp)
+			if !seen {
+				continue
+			}
+			ci := colIdx(comp, mode)
+			if ci < 0 {
+				continue
+			}
+			ports := compPorts[comp]
+			if hists[ci] == nil {
+				hists[ci] = make([]*Histogram, len(ports))
+				for pi, p := range ports {
+					hists[ci][pi] = NewHistogram(p.width())
+				}
+			}
+			for pi, p := range ports {
+				v, ok := portValue(rec, p)
+				if !ok {
+					continue
+				}
+				hists[ci][pi].Add(v)
+			}
+		}
+	}
+	for ci := range cols {
+		if hists[ci] == nil {
+			continue
+		}
+		cells[ci].Active = true
+		cells[ci].C = Controllability(hists[ci]...)
+		cells[ci].CSamples = hists[ci][0].Total()
+	}
+
+	// ---- Observability pass ----
+	errRng := rand.New(rand.NewSource(e.cfg.Seed ^ 0x5bd1e995))
+	for g := 0; g < e.cfg.OGoodRuns; g++ {
+		seed := e.cfg.Seed + int64(g)*7919 + 1
+		goodRng := rand.New(rand.NewSource(seed))
+		goodTrace := e.runTrial(core, rec, seq, goodRng, noAcc, 0)
+		good := *rec // snapshot of observed values and modes
+
+		for _, comp := range dsp.Components() {
+			mode, seen := observedMode(&good, comp)
+			if !seen {
+				continue
+			}
+			ci := colIdx(comp, mode)
+			if ci < 0 {
+				continue
+			}
+			width := comp.Width()
+			correct := good.compVal[comp]
+			isAcc := comp == dsp.CompAccA || comp == dsp.CompAccB
+			if comp == dsp.CompAccA {
+				correct = good.accAAfter
+			}
+			if comp == dsp.CompAccB {
+				correct = good.accBAfter
+			}
+			if comp == dsp.CompOutPort {
+				correct = good.outVal
+			}
+			mask := uint32(1)<<uint(width) - 1
+			for k := 0; k < 2*width; k++ {
+				errVal := errRng.Uint32() & mask
+				for errVal == correct {
+					errVal = errRng.Uint32() & mask
+				}
+				replayRng := rand.New(rand.NewSource(seed))
+				var badTrace []uint8
+				if isAcc {
+					badTrace = e.runTrial(core, rec, seq, replayRng, comp, errVal)
+				} else {
+					rec.inject = true
+					rec.injectComp = comp
+					rec.injectVal = errVal
+					badTrace = e.runTrial(core, rec, seq, replayRng, noAcc, 0)
+					rec.inject = false
+				}
+				cells[ci].Injections++
+				if !equalTrace(goodTrace, badTrace) {
+					cells[ci].Detections++
+				}
+			}
+		}
+	}
+	for ci := range cells {
+		if cells[ci].Injections > 0 {
+			cells[ci].O = float64(cells[ci].Detections) / float64(cells[ci].Injections)
+		}
+	}
+	return cells
+}
+
+// observedMode returns the component's active mode in the last recorded
+// trial and whether the component was exercised at all.
+func observedMode(rec *recorder, comp dsp.Component) (int, bool) {
+	if comp == dsp.CompOutPort {
+		return 0, rec.outSeen
+	}
+	if !rec.compSeen[comp] {
+		return 0, false
+	}
+	return rec.compMode[comp], true
+}
+
+func portValue(rec *recorder, p portSrc) (uint32, bool) {
+	if p.isComp {
+		if !rec.compSeen[p.comp] {
+			return 0, false
+		}
+		return rec.compVal[p.comp], true
+	}
+	if !rec.sigSeen[p.sig] {
+		return 0, false
+	}
+	return rec.sigVal[p.sig], true
+}
+
+func equalTrace(a, b []uint8) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildTable measures the full standard metrics table (the paper's
+// Table 2): every instruction variant × every component mode.
+func (e *Engine) BuildTable() *Table {
+	rows := StandardRows()
+	t := &Table{
+		Rows:       rows,
+		Cols:       StandardColumns(),
+		Cells:      make([][]Cell, len(rows)),
+		CThreshold: e.cfg.CThreshold,
+		OThreshold: e.cfg.OThreshold,
+	}
+	for r, row := range rows {
+		t.Cells[r] = e.MeasureSequence(StandardSequence(row.Op, row.Acc, row.State))
+	}
+	return t
+}
+
+// MeasureRow measures a single standard row (convenience for tests and
+// incremental exploration).
+func (e *Engine) MeasureRow(row Row) []Cell {
+	return e.MeasureSequence(StandardSequence(row.Op, row.Acc, row.State))
+}

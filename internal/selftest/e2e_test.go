@@ -1,0 +1,47 @@
+package selftest
+
+import (
+	"testing"
+
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+)
+
+// TestEndToEndFaultCoverage is the integration test for the whole flow:
+// metrics table → phases 1–2 → template expansion → gate-level stuck-at
+// fault simulation. A few hundred loop iterations must already push
+// coverage high; the full paper-scale run (6000 iterations) lives in the
+// experiments harness.
+func TestEndToEndFaultCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault simulation of the full core is slow")
+	}
+	g := sharedGenerator()
+	prog, _ := g.Generate()
+	vecs := Expand(prog, ExpandOptions{Iterations: 300})
+	core, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := res.Coverage()
+	t.Logf("e2e: %d vectors, %d/%d faults detected (%.2f%% coverage)",
+		vecs.Len(), res.Detected(), len(res.Faults), 100*cov)
+	for _, region := range dspgate.ComponentRegions {
+		det, tot := res.RegionCoverage(core.Netlist, region)
+		t.Logf("  %-12s %5d faults  %6.2f%%", region, tot, 100*float64(det)/float64(max(tot, 1)))
+	}
+	if cov < 0.85 {
+		t.Fatalf("coverage %.2f%% too low after 300 iterations", 100*cov)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,126 @@
+package selftest
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func lintMsgs(t *testing.T, p *Program) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, w := range Lint(p) {
+		sb.WriteString(w.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestLintCleanProgram(t *testing.T) {
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdRnd, RD: 0, RndImm: true},
+		{Op: isa.OpLdRnd, RD: 1, RndImm: true},
+		{Op: isa.OpNop},
+		{Op: isa.OpMpy, Acc: isa.AccA, RA: 0, RB: 1, RD: 2},
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	if msgs := lintMsgs(t, p); msgs != "" {
+		t.Fatalf("clean program flagged:\n%s", msgs)
+	}
+}
+
+func TestLintDelaySlot(t *testing.T) {
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdRnd, RD: 1, RndImm: true},
+		{Op: isa.OpMov, Src: 1, RD: 2}, // one cycle after the write
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	if msgs := lintMsgs(t, p); !strings.Contains(msgs, "delay slot") {
+		t.Fatalf("delay slot not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintUnobservedResult(t *testing.T) {
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdRnd, RD: 0, RndImm: true},
+		{Op: isa.OpLdRnd, RD: 1, RndImm: true},
+		{Op: isa.OpLdRnd, RD: 2, RndImm: true}, // dead: overwritten below, never read
+		{Op: isa.OpNop},
+		{Op: isa.OpMpy, Acc: isa.AccA, RA: 0, RB: 1, RD: 2},
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	msgs := lintMsgs(t, p)
+	if !strings.Contains(msgs, "overwritten before any OUT") {
+		t.Fatalf("dead result not flagged:\n%s", msgs)
+	}
+	if strings.Count(msgs, "overwritten before any OUT") != 1 {
+		t.Fatalf("expected exactly one dead-result warning:\n%s", msgs)
+	}
+}
+
+func TestLintDeadMacWithUnusedAcc(t *testing.T) {
+	// A MAC whose destination dies AND whose accumulator is never read
+	// again is genuinely wasted — must be flagged.
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdRnd, RD: 0, RndImm: true},
+		{Op: isa.OpLdRnd, RD: 1, RndImm: true},
+		{Op: isa.OpNop},
+		{Op: isa.OpMpy, Acc: isa.AccB, RA: 0, RB: 1, RD: 2}, // AccB never reused
+		{Op: isa.OpMov, Src: 0, RD: 2},                      // overwrites R2 unseen
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	msgs := lintMsgs(t, p)
+	if !strings.Contains(msgs, "overwritten before any OUT") {
+		t.Fatalf("dead MAC not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintNoRandomData(t *testing.T) {
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdi, Imm: 3, RD: 0},
+		{Op: isa.OpLdi, Imm: 5, RD: 1},
+		{Op: isa.OpNop},
+		{Op: isa.OpMpy, Acc: isa.AccA, RA: 0, RB: 1, RD: 2},
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	if msgs := lintMsgs(t, p); !strings.Contains(msgs, "no pseudorandom loads") {
+		t.Fatalf("constant-only loop not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintUndefinedRead(t *testing.T) {
+	p := &Program{Loop: []isa.Instr{
+		{Op: isa.OpLdRnd, RD: 0, RndImm: true},
+		{Op: isa.OpNop},
+		{Op: isa.OpMpy, Acc: isa.AccA, RA: 0, RB: 9, RD: 2}, // R9 never written
+		{Op: isa.OpNop},
+		{Op: isa.OpOut, Src: 2},
+	}}
+	if msgs := lintMsgs(t, p); !strings.Contains(msgs, "reads R9") {
+		t.Fatalf("undefined read not flagged:\n%s", msgs)
+	}
+}
+
+func TestLintEmptyLoop(t *testing.T) {
+	if msgs := lintMsgs(t, &Program{}); !strings.Contains(msgs, "empty loop") {
+		t.Fatalf("empty loop not flagged: %q", msgs)
+	}
+}
+
+func TestGeneratedProgramLintsClean(t *testing.T) {
+	g := sharedGenerator()
+	prog, _ := g.Generate()
+	var real []LintWarning
+	for _, w := range Lint(prog) {
+		real = append(real, w)
+	}
+	if len(real) != 0 {
+		t.Fatalf("generator output flagged:\n%v\n%s", real, prog)
+	}
+}

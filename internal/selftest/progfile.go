@@ -1,0 +1,72 @@
+package selftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Source renders the program in a round-trippable assembler format:
+// optional ".once" and ".loop" section directives followed by one
+// instruction per line (comments preserved). ParseProgram reads it back.
+func (p *Program) Source() string {
+	var sb strings.Builder
+	write := func(ins []isa.Instr) {
+		for _, in := range ins {
+			sb.WriteString(in.String())
+			if in.Comment != "" {
+				sb.WriteString("  // ")
+				sb.WriteString(in.Comment)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if len(p.Once) > 0 {
+		sb.WriteString(".once\n")
+		write(p.Once)
+	}
+	sb.WriteString(".loop\n")
+	write(p.Loop)
+	return sb.String()
+}
+
+// ParseProgram parses the Source format. Plain assembler with no
+// directives is accepted and treated as a loop body.
+func ParseProgram(src string) (*Program, error) {
+	p := &Program{}
+	section := &p.Loop
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch strings.ToLower(line) {
+		case ".once":
+			section = &p.Once
+			continue
+		case ".loop":
+			section = &p.Loop
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			return nil, fmt.Errorf("line %d: unknown directive %q", ln+1, line)
+		}
+		in, err := isa.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		if i := strings.Index(raw, "//"); i >= 0 {
+			in.Comment = strings.TrimSpace(raw[i+2:])
+		}
+		*section = append(*section, in)
+	}
+	if len(p.Loop) == 0 {
+		return nil, fmt.Errorf("selftest: program has no loop body")
+	}
+	return p, nil
+}

@@ -1,0 +1,162 @@
+// Package selftest implements the paper's contribution: metrics-driven
+// generation of self-test programs for the DSP core, and the template
+// architecture that turns a small looped program into a long
+// pseudorandom test-vector stream.
+//
+// The flow follows the paper's Figure 3:
+//
+//	Phase 1 (global coverage):  greedy cover of the metrics table —
+//	    repeatedly pick the instruction covering the most remaining
+//	    component-mode columns, after removing columns covered by the
+//	    automatic Load/Out wrappers.
+//	Phase 2 (specific coverage): for columns no single instruction
+//	    covers, try knowledge-based instruction sequences (e.g. follow a
+//	    MAC with a SHIFT and an OUT to observe the accumulators) and
+//	    validate them with the metrics engine; columns whose control-bit
+//	    mode no instruction can produce are discarded.
+//	Phase 3 (optional, gate level): control-bit constraint analysis,
+//	    execution-frequency boosting, and component-local ATPG top-up
+//	    patterns executed once outside the loop.
+//
+// Expansion mirrors the paper's Figure 2 template architecture: the
+// program is a template whose load immediates are instantiated from
+// LFSR1 and whose register fields are XOR-masked with LFSR2 once per
+// loop iteration, so each pass exercises a different register group
+// while preserving the program's dataflow (XOR with a constant mask is a
+// bijection on register numbers).
+package selftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/lfsr"
+)
+
+// Program is a self-test program template. Loop is executed repeatedly
+// with fresh LFSR data; Once holds Phase-3 ATPG top-up instructions that
+// run a single time before the loop (the paper stores them in memory but
+// executes them once).
+type Program struct {
+	Once []isa.Instr
+	Loop []isa.Instr
+}
+
+// Len returns the loop length in instructions (the paper's "34
+// instructions" count refers to the loop body).
+func (p *Program) Len() int { return len(p.Loop) }
+
+// String renders the program in the style of the paper's Figure 7.
+func (p *Program) String() string {
+	var sb strings.Builder
+	if len(p.Once) > 0 {
+		sb.WriteString("// once (Phase-3 deterministic patterns)\n")
+		sb.WriteString(isa.Disassemble(p.Once))
+		sb.WriteString("// loop\n")
+	}
+	sb.WriteString(isa.Disassemble(p.Loop))
+	return sb.String()
+}
+
+// ExpandOptions configure template expansion.
+type ExpandOptions struct {
+	// Iterations is the number of passes through the loop body.
+	Iterations int
+	// Seed1 and Seed2 seed LFSR1 (8-bit immediate data) and LFSR2
+	// (register-field mask). Zero seeds select the LFSR default.
+	Seed1, Seed2 uint64
+	// DisableRegMask turns off LFSR2 register rotation (ablation).
+	DisableRegMask bool
+}
+
+// Expand simulates the template architecture: it instantiates the
+// program's template fields and returns the instruction-word stream the
+// core would receive, ready for fault simulation (one 17-bit word per
+// cycle, packed for fault.Vectors).
+func Expand(p *Program, opts ExpandOptions) fault.Vectors {
+	l1 := lfsr.MustNew(16, opts.Seed1|1)
+	l2 := lfsr.MustNew(12, opts.Seed2|1)
+	vecs := make(fault.Vectors, 0, len(p.Once)+opts.Iterations*len(p.Loop))
+	for _, in := range p.Once {
+		vecs = append(vecs, uint64(instantiate(in, l1, 0)))
+	}
+	for it := 0; it < opts.Iterations; it++ {
+		mask := uint8(0)
+		if !opts.DisableRegMask {
+			mask = uint8(l2.Next() & 0xF)
+		}
+		for _, in := range p.Loop {
+			vecs = append(vecs, uint64(instantiate(in, l1, mask)))
+		}
+	}
+	return vecs
+}
+
+// instantiate resolves one template instruction: random immediates from
+// LFSR1 and register-field rotation by the iteration mask. The same mask
+// applies to every register field so intra-iteration dataflow (which
+// register feeds which consumer) is preserved.
+func instantiate(in isa.Instr, l1 *lfsr.LFSR, mask uint8) uint32 {
+	if in.Op == isa.OpLdRnd || (in.RndImm && in.Op == isa.OpLdi) {
+		in.Imm = uint8(l1.NextBits(8))
+		in.Op = isa.OpLdi
+	}
+	if mask != 0 {
+		in.RA ^= mask & 0xF
+		in.RB ^= mask & 0xF
+		in.RD ^= mask & 0xF
+		in.Src ^= mask & 0xF
+	}
+	return in.Encode()
+}
+
+// HazardViolations reports loop positions whose instruction reads a
+// register written exactly one instruction earlier — the pipeline's
+// exposed delay slot, where the read returns the old value. The check
+// wraps around the loop boundary. The generator schedules around these;
+// the checker guards hand-written programs.
+func HazardViolations(loop []isa.Instr) []int {
+	var bad []int
+	n := len(loop)
+	for i := 0; i < n; i++ {
+		prev := loop[(i-1+n)%n]
+		if !prev.Op.WritesDest() {
+			continue
+		}
+		cur := loop[i]
+		reads := readRegs(cur)
+		for _, r := range reads {
+			if r == prev.RD {
+				bad = append(bad, i)
+				break
+			}
+		}
+	}
+	return bad
+}
+
+// readRegs lists the registers an instruction reads.
+func readRegs(in isa.Instr) []uint8 {
+	switch in.Op.Format() {
+	case isa.Format1:
+		if in.Op.UsesSourceRegs() {
+			return []uint8{in.RA, in.RB}
+		}
+		return nil
+	case isa.Format3, isa.Format4:
+		return []uint8{in.Src}
+	}
+	return nil
+}
+
+// mustParse assembles one line, panicking on error (generator-internal
+// program fragments are compile-time constants in spirit).
+func mustParse(line string) isa.Instr {
+	in, err := isa.Parse(line)
+	if err != nil {
+		panic(fmt.Sprintf("selftest: bad internal fragment %q: %v", line, err))
+	}
+	return in
+}

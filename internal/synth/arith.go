@@ -1,0 +1,114 @@
+// Package synth generates gate-level implementations of the datapath
+// building blocks the DSP core is assembled from: ripple-carry
+// adder/subtracters, a truncated signed array multiplier, an arithmetic
+// barrel shifter, a saturating limiter, a fraction truncater, wide
+// multiplexers, registers and a dual-read-port register file.
+//
+// Each generator emits primitive gates through a logic.Builder, so the
+// result is directly simulatable and fault-simulatable. Generators are
+// deliberately simple, technology-independent structures (ripple carries,
+// mux trees): the stuck-at fault universe they induce is representative
+// even though gate counts differ from a commercial synthesis flow.
+package synth
+
+import "repro/internal/logic"
+
+// FullAdder emits a single-bit full adder.
+func FullAdder(b *logic.Builder, a, x, cin logic.NetID) (sum, cout logic.NetID) {
+	axor := b.Xor(a, x)
+	sum = b.Xor(axor, cin)
+	cout = b.Or(b.And(a, x), b.And(axor, cin))
+	return sum, cout
+}
+
+// Adder emits a ripple-carry adder over equal-width buses and returns the
+// sum and carry-out.
+func Adder(b *logic.Builder, a, x logic.Bus, cin logic.NetID) (logic.Bus, logic.NetID) {
+	if len(a) != len(x) {
+		panicWidth("Adder", len(a), len(x))
+	}
+	sum := make(logic.Bus, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = FullAdder(b, a[i], x[i], carry)
+	}
+	return sum, carry
+}
+
+// AddSub emits a shared adder/subtracter: when sub=0 it computes a+x,
+// when sub=1 it computes a-x (two's complement: a + ^x + 1).
+func AddSub(b *logic.Builder, a, x logic.Bus, sub logic.NetID) (logic.Bus, logic.NetID) {
+	if len(a) != len(x) {
+		panicWidth("AddSub", len(a), len(x))
+	}
+	xi := make(logic.Bus, len(x))
+	for i := range x {
+		xi[i] = b.Xor(x[i], sub)
+	}
+	return Adder(b, a, xi, sub)
+}
+
+// Negate emits a two's complement negation (-a).
+func Negate(b *logic.Builder, a logic.Bus) logic.Bus {
+	zero := b.ConstBus(0, len(a))
+	out, _ := AddSub(b, zero, a, b.Const(true))
+	return out
+}
+
+// MulSigned emits a truncated signed array multiplier: the low outWidth
+// bits of the two's complement product of a and x. Both operands are
+// sign-extended to outWidth internally (the low bits of the extended
+// unsigned product equal the two's complement product), and partial
+// products beyond the output width are never generated.
+func MulSigned(b *logic.Builder, a, x logic.Bus, outWidth int) logic.Bus {
+	ae := b.SignExtend(a, outWidth)
+	xe := b.SignExtend(x, outWidth)
+	// Row 0 of partial products seeds the accumulator.
+	acc := make(logic.Bus, outWidth)
+	for j := 0; j < outWidth; j++ {
+		acc[j] = b.And(ae[j], xe[0])
+	}
+	// Each subsequent row i adds (a & x[i]) << i into acc[i..].
+	for i := 1; i < outWidth; i++ {
+		width := outWidth - i
+		row := make(logic.Bus, width)
+		for j := 0; j < width; j++ {
+			row[j] = b.And(ae[j], xe[i])
+		}
+		summed, _ := Adder(b, acc[i:], row, b.Const(false))
+		copy(acc[i:], summed)
+	}
+	return acc
+}
+
+// Equal emits a bus-equality comparator (1 when a == x).
+func Equal(b *logic.Builder, a, x logic.Bus) logic.NetID {
+	if len(a) != len(x) {
+		panicWidth("Equal", len(a), len(x))
+	}
+	terms := make([]logic.NetID, len(a))
+	for i := range a {
+		terms[i] = b.Xnor(a[i], x[i])
+	}
+	return andAll(b, terms)
+}
+
+// IsZero emits a zero detector (1 when every bit of a is 0).
+func IsZero(b *logic.Builder, a logic.Bus) logic.NetID {
+	if len(a) == 1 {
+		return b.Not(a[0])
+	}
+	return b.Nor(a...)
+}
+
+// andAll reduces a list of nets with AND, tolerating a single input.
+func andAll(b *logic.Builder, in []logic.NetID) logic.NetID {
+	if len(in) == 1 {
+		return b.Buf(in[0], "")
+	}
+	return b.And(in...)
+}
+
+func panicWidth(op string, a, b int) {
+	panic("synth: " + op + " width mismatch")
+}

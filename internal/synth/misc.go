@@ -1,0 +1,123 @@
+package synth
+
+import "repro/internal/logic"
+
+// Truncate emits the MAC truncater: when en=1 the low frac bits (to the
+// right of the fixed-point binary point) are cleared; when en=0 the data
+// passes through unchanged.
+func Truncate(b *logic.Builder, data logic.Bus, frac int, en logic.NetID) logic.Bus {
+	out := make(logic.Bus, len(data))
+	nen := b.Not(en)
+	for i := range data {
+		if i < frac {
+			out[i] = b.And(data[i], nen)
+		} else {
+			out[i] = data[i]
+		}
+	}
+	return out
+}
+
+// Limiter emits the MAC limiter: it clips a wide signed accumulator value
+// to the narrower output window data[lo+outW-1 : lo], saturating to the
+// most positive/negative output code when the accumulator value does not
+// fit. The value fits exactly when all bits above the window's sign bit
+// agree with it.
+func Limiter(b *logic.Builder, data logic.Bus, lo, outW int) logic.Bus {
+	hi := lo + outW // first bit above the window
+	if hi > len(data) {
+		panic("synth: Limiter window exceeds input width")
+	}
+	windowSign := data[hi-1]
+	// fits = all data[hi..] equal windowSign.
+	fits := b.Const(true)
+	if hi < len(data) {
+		terms := make([]logic.NetID, 0, len(data)-hi)
+		for i := hi; i < len(data); i++ {
+			terms = append(terms, b.Xnor(data[i], windowSign))
+		}
+		fits = andAll(b, terms)
+	}
+	neg := data.MSB()
+	out := make(logic.Bus, outW)
+	for i := 0; i < outW; i++ {
+		// Saturation value: 0111..1 for positive overflow, 1000..0 for
+		// negative overflow.
+		var sat logic.NetID
+		if i == outW-1 {
+			sat = neg
+		} else {
+			sat = b.Not(neg)
+		}
+		out[i] = b.Mux2(fits, sat, data[lo+i])
+	}
+	return out
+}
+
+// Decoder emits an n-to-2^n one-hot decoder.
+func Decoder(b *logic.Builder, sel logic.Bus) []logic.NetID {
+	n := len(sel)
+	inv := make([]logic.NetID, n)
+	for i, s := range sel {
+		inv[i] = b.Not(s)
+	}
+	out := make([]logic.NetID, 1<<uint(n))
+	for v := range out {
+		terms := make([]logic.NetID, n)
+		for i := 0; i < n; i++ {
+			if v>>uint(i)&1 == 1 {
+				terms[i] = sel[i]
+			} else {
+				terms[i] = inv[i]
+			}
+		}
+		out[v] = andAll(b, terms)
+	}
+	return out
+}
+
+// MuxN emits a mux tree selecting inputs[sel]. The number of inputs must
+// be exactly 1<<len(sel); all inputs must share one width.
+func MuxN(b *logic.Builder, sel logic.Bus, inputs []logic.Bus) logic.Bus {
+	if len(inputs) != 1<<uint(len(sel)) {
+		panic("synth: MuxN input count mismatch")
+	}
+	layer := inputs
+	for level := 0; level < len(sel); level++ {
+		next := make([]logic.Bus, len(layer)/2)
+		for i := range next {
+			next[i] = b.Mux2Bus(sel[level], layer[2*i], layer[2*i+1])
+		}
+		layer = next
+	}
+	return layer[0]
+}
+
+// Register emits an enabled register: on each clock, when en=1 the
+// register loads d, otherwise it holds. Returns the Q bus.
+func Register(b *logic.Builder, d logic.Bus, en logic.NetID, name string) logic.Bus {
+	return RegisterLoop(b, func(q logic.Bus) logic.Bus {
+		return b.Mux2Bus(en, q, d)
+	}, len(d), name)
+}
+
+// RegisterLoop emits a width-bit register whose next-state function is
+// given by fn(q). fn receives the register's Q bus and must return the D
+// bus; this enables feedback structures (hold registers, accumulators)
+// despite the builder's create-before-use rule. Each DFF reads a deferred
+// buffer that is resolved to fn's output once the Q nets exist.
+func RegisterLoop(b *logic.Builder, fn func(q logic.Bus) logic.Bus, width int, name string) logic.Bus {
+	feeds := make(logic.Bus, width)
+	for i := range feeds {
+		feeds[i] = b.DeferredBuf()
+	}
+	q := b.DFFBus(feeds, name)
+	d := fn(q)
+	if len(d) != width {
+		panic("synth: RegisterLoop next-state width mismatch")
+	}
+	for i := range feeds {
+		b.ResolveBuf(feeds[i], d[i])
+	}
+	return q
+}

@@ -1,0 +1,45 @@
+package synth
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// RegFile is the gate-level dual-read, single-write register file
+// emitted by RegisterFile. Read data is combinational; writes occur on
+// the clock edge when WriteEn=1.
+type RegFile struct {
+	// Regs[i] is register i's Q bus.
+	Regs []logic.Bus
+}
+
+// RegisterFileConfig sizes a register file.
+type RegisterFileConfig struct {
+	NumRegs int // must be a power of two
+	Width   int
+}
+
+// RegisterFile emits a register file with one write port (addr, data,
+// enable) and exposes combinational read through ReadPort. Each register
+// holds unless the write decoder selects it while writeEn is high.
+func RegisterFile(b *logic.Builder, cfg RegisterFileConfig, writeAddr logic.Bus, writeData logic.Bus, writeEn logic.NetID) *RegFile {
+	if 1<<uint(len(writeAddr)) != cfg.NumRegs {
+		panic("synth: RegisterFile write address width mismatch")
+	}
+	if len(writeData) != cfg.Width {
+		panic("synth: RegisterFile write data width mismatch")
+	}
+	sel := Decoder(b, writeAddr)
+	rf := &RegFile{Regs: make([]logic.Bus, cfg.NumRegs)}
+	for i := 0; i < cfg.NumRegs; i++ {
+		en := b.And(writeEn, sel[i])
+		rf.Regs[i] = Register(b, writeData, en, fmt.Sprintf("r%d", i))
+	}
+	return rf
+}
+
+// ReadPort emits a combinational read port returning Regs[addr].
+func (rf *RegFile) ReadPort(b *logic.Builder, addr logic.Bus) logic.Bus {
+	return MuxN(b, addr, rf.Regs)
+}

@@ -1,0 +1,117 @@
+package synth
+
+import "repro/internal/logic"
+
+// ShifterMode enumerates the four control-bit settings of the DSP
+// arithmetic shifter (paper Table 2 columns "Shifter 00".."Shifter 11").
+type ShifterMode uint8
+
+// Shifter control-bit encodings. Mode 01 (variable shift) is the mode the
+// paper's Phase-3 constraint study identifies as essential: forbidding it
+// collapses shifter fault coverage to ~13%.
+const (
+	// ShifterPass passes the input through unshifted.
+	ShifterPass ShifterMode = 0 // control bits 00
+	// ShifterVariable shifts by the signed 4-bit amount: positive values
+	// shift left, negative values shift arithmetically right.
+	ShifterVariable ShifterMode = 1 // control bits 01
+	// ShifterLeft1 shifts left by one.
+	ShifterLeft1 ShifterMode = 2 // control bits 10
+	// ShifterRight1 shifts arithmetically right by one.
+	ShifterRight1 ShifterMode = 3 // control bits 11
+)
+
+// BarrelShifter emits the DSP's arithmetic shifter. The data input is
+// shifted according to mode (2 bits, encoding ShifterMode) and amount
+// (4-bit signed, used only in ShifterVariable mode; the paper takes it
+// from the A operand). Left shifts fill with zero; right shifts replicate
+// the sign bit.
+//
+// The variable path computes the shift magnitude |s| (a two's complement
+// negation when s is negative), barrel-shifts both directions through
+// conditional 8/4/2/1 stages, and selects by the amount's sign — so a
+// negative amount is an exact arithmetic right shift of |s| bits.
+func BarrelShifter(b *logic.Builder, data logic.Bus, amount logic.Bus, mode logic.Bus) logic.Bus {
+	if len(amount) != 4 {
+		panic("synth: BarrelShifter amount must be 4 bits")
+	}
+	if len(mode) != 2 {
+		panic("synth: BarrelShifter mode must be 2 bits")
+	}
+	n := len(data)
+
+	// Magnitude: amount when non-negative, -amount (two's complement in
+	// 4 bits: 0..8) when negative. |−8| = 8 wraps to 1000 in 4 bits,
+	// which the mag[3]-conditioned 8-stage handles.
+	dir := amount[3] // 1 = right shift
+	neg := Negate(b, amount)
+	mag := b.Mux2Bus(dir, amount, neg)
+
+	// Left path: stages 8/4/2/1 (mag<=7 when dir=0, but stage 8 keeps the
+	// datapath symmetric and correct for any mag).
+	l := condShiftLeft(b, data, 8, mag[3])
+	l = condShiftLeft(b, l, 4, mag[2])
+	l = condShiftLeft(b, l, 2, mag[1])
+	l = condShiftLeft(b, l, 1, mag[0])
+
+	// Right path: arithmetic stages 8/4/2/1.
+	r := condShiftRight(b, data, 8, mag[3])
+	r = condShiftRight(b, r, 4, mag[2])
+	r = condShiftRight(b, r, 2, mag[1])
+	r = condShiftRight(b, r, 1, mag[0])
+
+	v := b.Mux2Bus(dir, l, r)
+
+	l1 := shiftLeftConst(b, data, 1)
+	r1 := shiftRightConst(b, data, 1)
+
+	// Final 4:1 selection by mode bits.
+	out := make(logic.Bus, n)
+	for i := 0; i < n; i++ {
+		lo := b.Mux2(mode[0], data[i], v[i]) // mode1=0: 00->pass, 01->variable
+		hi := b.Mux2(mode[0], l1[i], r1[i])  // mode1=1: 10->left1, 11->right1
+		out[i] = b.Mux2(mode[1], lo, hi)
+	}
+	return out
+}
+
+// condShiftLeft shifts left by k when cond=1, else passes through.
+func condShiftLeft(b *logic.Builder, data logic.Bus, k int, cond logic.NetID) logic.Bus {
+	shifted := shiftLeftConst(b, data, k)
+	return b.Mux2Bus(cond, data, shifted)
+}
+
+// condShiftRight arithmetically shifts right by k when cond=1.
+func condShiftRight(b *logic.Builder, data logic.Bus, k int, cond logic.NetID) logic.Bus {
+	shifted := shiftRightConst(b, data, k)
+	return b.Mux2Bus(cond, data, shifted)
+}
+
+// shiftLeftConst returns data << k with zero fill (width preserved).
+func shiftLeftConst(b *logic.Builder, data logic.Bus, k int) logic.Bus {
+	n := len(data)
+	out := make(logic.Bus, n)
+	for i := 0; i < n; i++ {
+		if i < k {
+			out[i] = b.Const(false)
+		} else {
+			out[i] = data[i-k]
+		}
+	}
+	return out
+}
+
+// shiftRightConst returns data >> k with sign fill (width preserved).
+func shiftRightConst(b *logic.Builder, data logic.Bus, k int) logic.Bus {
+	n := len(data)
+	sign := data.MSB()
+	out := make(logic.Bus, n)
+	for i := 0; i < n; i++ {
+		if i+k < n {
+			out[i] = data[i+k]
+		} else {
+			out[i] = sign
+		}
+	}
+	return out
+}
