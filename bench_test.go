@@ -6,6 +6,7 @@ package repro
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/atpg"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 	"repro/internal/simpledsp"
 )
@@ -100,6 +102,33 @@ func BenchmarkFaultCoverageBase(b *testing.B) {
 		}
 		b.ReportMetric(100*res.Coverage(), "%coverage")
 		b.ReportMetric(float64(vecs.Len())/float64(b.Elapsed().Seconds()+1e-9)/1e6, "Mvec/s")
+	}
+}
+
+// countingSink is the cheapest possible live sink: it measures the cost
+// of event construction and fan-in, not of any particular backend.
+type countingSink struct{ n atomic.Int64 }
+
+func (s *countingSink) Emit(obs.Event) { s.n.Add(1) }
+
+// BenchmarkFaultCoverageTraced is BenchmarkFaultCoverageBase with a
+// live event sink attached. The Base benchmark above is the disabled
+// path (nil Sink ⇒ the simulator skips event construction entirely);
+// the delta between the two is the enabled-path instrumentation cost.
+func BenchmarkFaultCoverageTraced(b *testing.B) {
+	core, prog, _ := fixtures(b)
+	sink := &countingSink{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: 100})
+		res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{Sink: sink})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Coverage(), "%coverage")
+	}
+	if sink.n.Load() == 0 {
+		b.Fatal("sink saw no events")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dspgate"
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 )
 
@@ -24,14 +25,20 @@ func main() {
 	iters := flag.Int("iters", 60, "self-test loop iterations")
 	seed := flag.Int64("seed", 7, "selects the hidden fault")
 	top := flag.Int("top", 5, "candidates to print")
+	obsCfg := obs.Flags()
 	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+	span := rt.Span("diagnose")
+	defer span.End()
 
 	core, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
 	if err != nil {
 		fail(err)
 	}
 	eng := metrics.NewEngine(metrics.Config{CTrials: 8000, OGoodRuns: 6, Seed: 1})
-	prog, _ := selftest.NewGenerator(eng).Generate()
+	prog, _ := selftest.NewGenerator(eng).WithObs(span).Generate()
 	vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: *iters})
 
 	faults, _ := fault.Collapse(core.Netlist, fault.AllFaults(core.Netlist))
@@ -52,11 +59,13 @@ func main() {
 		return
 	}
 	fmt.Printf("observed %d failing cycles of %d\n", failures, len(observed))
+	span.Add("failing_cycles", int64(failures))
 
 	cands, err := fault.Diagnose(core.Netlist, vecs, observed, faults)
 	if err != nil {
 		fail(err)
 	}
+	span.Add("candidates", int64(len(cands)))
 	fmt.Printf("%d candidates; top %d:\n", len(cands), *top)
 	for i, c := range cands {
 		if i >= *top {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 	"repro/internal/simpledsp"
 )
@@ -30,8 +31,10 @@ func generator(rc *runContext) (*selftest.Program, *selftest.Report) {
 		if rc.quick {
 			cfg = metrics.Config{CTrials: 12000, OGoodRuns: 8, Seed: 1}
 		}
-		gen := selftest.NewGenerator(metrics.NewEngine(cfg))
+		span := obs.NewSpan(rc.sink, "generator")
+		gen := selftest.NewGenerator(metrics.NewEngine(cfg)).WithObs(span)
 		genProg, genRep = gen.Generate()
+		span.End()
 	})
 	return genProg, genRep
 }
@@ -61,6 +64,7 @@ func runE1(rc *runContext) {
 		cfg = simpledsp.Config{CTrials: 4000, OGoodRuns: 30, Seed: 9}
 	}
 	tab := simpledsp.BuildTable(cfg)
+	rc.metric("rows", len(tab.Rows))
 	rc.printf("%s\n", tab.Render())
 	rc.printf("paper Table 1 reference shape: O≈0.99 everywhere except Clr/Mult O=0.00;\n")
 	rc.printf("C in 0.64–0.89; random accumulator state raises ALU/Acc controllability.\n")
@@ -68,6 +72,8 @@ func runE1(rc *runContext) {
 
 func runE2(rc *runContext) {
 	_, rep := generator(rc)
+	rc.metric("rows", len(rep.Table.Rows))
+	rc.metric("cols", len(rep.Table.Cols))
 	rc.printf("thresholds: Cθ=%.2f Oθ=%.2f\n\n%s\n", rep.Table.CThreshold, rep.Table.OThreshold,
 		rep.Table.Render())
 	// Spot comparisons against the cells Table 2 prints.
@@ -113,6 +119,8 @@ func findCell(t *metrics.Table, rowName, colLabel string) (metrics.Cell, bool) {
 func runE3(rc *runContext) {
 	_, rep := generator(rc)
 	p1 := rep.Phase1
+	rc.metric("picks", len(p1.Chosen))
+	rc.metric("uncovered", len(p1.Uncovered))
 	rc.printf("wrapper rows (Load/Out): %d; columns wrapper-covered: %d\n",
 		len(p1.WrapperRows), countCoveredBy(p1, -1))
 	for i, ri := range p1.Chosen {
@@ -138,6 +146,7 @@ func countCoveredBy(p1 *selftest.Phase1Result, row int) int {
 
 func runE4(rc *runContext) {
 	prog, rep := generator(rc)
+	rc.metric("loop_instrs", prog.Len())
 	rc.printf("%s\n%d instructions per loop iteration (paper: 34)\n\n%s\n",
 		prog, prog.Len(), rep.Summary())
 }
@@ -152,7 +161,9 @@ func runE5(rc *runContext) {
 	c := core(rc)
 	rc.printf("program: %d instructions × %d iterations = %d vectors (paper: 34 × 6000 = 204,000)\n",
 		prog.Len(), iters, vecs.Len())
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Progress: progressPrinter(rc)})
+	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
+		Progress: progressPrinter(rc), Sink: rc.sink,
+	})
 	if err != nil {
 		panic(err)
 	}
@@ -166,6 +177,11 @@ func runE5(rc *runContext) {
 	tc := float64(res.Detected()) / float64(len(res.Faults)-untestable)
 	rc.printf("test coverage:  %.2f%% (%d untestable excluded, %d aborted)   [paper: 98.33%%]\n",
 		100*tc, untestable, aborted)
+	rc.metric("vectors", vecs.Len())
+	rc.metric("fault_coverage", fc)
+	rc.metric("test_coverage", tc)
+	rc.metric("untestable", untestable)
+	rc.metric("aborted", aborted)
 
 	rc.printf("\nper-component coverage (paper Table 2 header gives per-component fault counts):\n")
 	for _, region := range dspgate.ComponentRegions {
@@ -217,6 +233,7 @@ func runE6(rc *runContext) {
 	}
 	for _, r := range results {
 		rel := 100 * r.Coverage() / all
+		rc.metric(r.Label, rel)
 		rc.printf("%-12s %9.2f%% %9.2f%%   (%d/%d testable, %d aborted; relative to all-modes ceiling)\n",
 			r.Label, paper[r.Label], rel, r.Testable, r.Total, r.Aborted)
 	}
@@ -234,15 +251,19 @@ func runE7(rc *runContext) {
 	vecs := selftest.Expand(boosted, selftest.ExpandOptions{Iterations: iters})
 	c := core(rc)
 	rc.printf("boosted program: %d instructions (base: %d)\n", boosted.Len(), prog.Len())
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Progress: progressPrinter(rc)})
+	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
+		Progress: progressPrinter(rc), Sink: rc.sink,
+	})
 	if err != nil {
 		panic(err)
 	}
 	rc.printf("enhanced fault coverage at %d iterations: %.2f%%   [paper: 98.42%%]\n",
 		iters, 100*res.Coverage())
+	rc.metric("enhanced_coverage", res.Coverage())
 	if baseDetections > 0 {
 		at := res.FirstCycleReaching(baseDetections)
 		if at >= 0 {
+			rc.metric("crossover_vectors", at+1)
 			rc.printf("vectors to match the base program's %d-vector detection count: %d   [paper: 27,346 vs 204,000]\n",
 				baseVectors, at+1)
 		} else {
@@ -266,6 +287,7 @@ func runE7(rc *runContext) {
 		maxPatterns = 15
 	}
 	top := selftest.TopUp(c, undetected, maxPatterns)
+	rc.metric("topup_justified", top.Justified)
 	rc.printf("ATPG top-up: %d verified run-once patterns (+%.2f%% coverage), %d unjustifiable, %d untestable\n",
 		top.Justified, 100*float64(top.Justified)/float64(len(res.Faults)),
 		top.Unjustified, top.Untestable)
@@ -279,15 +301,22 @@ func runE8(rc *runContext) {
 	if rc.quick {
 		frames, sample, backtracks = 3, 40, 300
 	}
-	res, err := bist.SequentialATPG(c.Netlist, frames, sample, backtracks, nil)
+	res, err := bist.SequentialATPGOpts(c.Netlist, bist.SeqATPGOptions{
+		Frames: frames, SampleEvery: sample, MaxBacktracks: backtracks, Sink: rc.sink,
+	})
 	if err != nil {
 		panic(err)
 	}
 	rc.printf("unroll depth %d, every %dth of %d collapsed faults targeted\n",
 		res.Frames, sample, res.TotalFaults)
-	rc.printf("PODEM: %d tests found, %d untestable within horizon, %d aborted\n",
-		res.TestsFound, res.Untestable, res.Aborted)
+	rc.printf("PODEM: %d tests found, %d untestable within horizon, %d aborted (%d backtracks, %d decisions)\n",
+		res.TestsFound, res.Untestable, res.Aborted, res.Stats.Backtracks, res.Stats.Decisions)
 	rc.printf("test-set fault coverage: %.2f%%   [paper: 8.51%%]\n", 100*res.Coverage())
+	rc.metric("coverage", res.Coverage())
+	rc.metric("tests_found", res.TestsFound)
+	rc.metric("untestable", res.Untestable)
+	rc.metric("aborted", res.Aborted)
+	rc.metric("backtracks", res.Stats.Backtracks)
 	rc.printf("the pipelined core defeats bounded gate-level sequential ATPG, as in the paper.\n")
 }
 
@@ -298,12 +327,16 @@ func runE9(rc *runContext) {
 	}
 	vecs := bist.PseudorandomVectors(count, 1)
 	c := core(rc)
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Progress: progressPrinter(rc)})
+	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
+		Progress: progressPrinter(rc), Sink: rc.sink,
+	})
 	if err != nil {
 		panic(err)
 	}
 	rc.printf("raw 17-bit LFSR, %d vectors (paper: all 131,071)\n", count)
 	rc.printf("fault coverage: %.2f%%\n", 100*res.Coverage())
+	rc.metric("vectors", count)
+	rc.metric("coverage", res.Coverage())
 	rc.printf("coverage vs vectors:\n")
 	for v := 1024; v < count; v *= 4 {
 		rc.printf("  %8d  %.2f%%\n", v, 100*res.CoverageAt(v))
@@ -324,12 +357,15 @@ func runE10(rc *runContext) {
 	}
 	vecs := bist.IRSTVectors(bist.IRSTOptions{Vectors: count, Seed: 1, OutEvery: 6})
 	c := core(rc)
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Progress: progressPrinter(rc)})
+	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
+		Progress: progressPrinter(rc), Sink: rc.sink,
+	})
 	if err != nil {
 		panic(err)
 	}
 	rc.printf("randomized-instruction stream, %d vectors, OUT every 6th\n", count)
 	rc.printf("fault coverage: %.2f%%\n", 100*res.Coverage())
+	rc.metric("coverage", res.Coverage())
 	rc.printf("coverage vs vectors:\n")
 	for v := 1024; v < count; v *= 4 {
 		rc.printf("  %8d  %.2f%%\n", v, 100*res.CoverageAt(v))
@@ -358,11 +394,16 @@ func runE11(rc *runContext) {
 			label = "rotation disabled"
 		}
 		vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: iters, DisableRegMask: disable})
-		res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{})
+		res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Sink: rc.sink})
 		if err != nil {
 			panic(err)
 		}
 		rfDet, rfTot := res.RegionCoverage(c.Netlist, "RegFile")
+		key := "coverage_with_rotation"
+		if disable {
+			key = "coverage_no_rotation"
+		}
+		rc.metric(key, res.Coverage())
 		rc.printf("%-22s %7d vectors: overall %6.2f%%, register file %6.2f%% (%d/%d)\n",
 			label, vecs.Len(), 100*res.Coverage(), 100*float64(rfDet)/float64(rfTot), rfDet, rfTot)
 	}
@@ -393,6 +434,7 @@ func runE12(rc *runContext) {
 		if err != nil {
 			panic(err)
 		}
+		rc.metric(tc.name, res.Coverage())
 		rc.printf("%-14s %6d vectors: transition-fault coverage %6.2f%% (%d/%d)\n",
 			tc.name, tc.vecs.Len(), 100*res.Coverage(), res.Detected(), len(res.Faults))
 	}

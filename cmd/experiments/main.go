@@ -16,20 +16,31 @@
 //	E9  Sec 3.5   pseudorandom BIST baseline (all 131,071 LFSR vectors)
 //
 // -quick shrinks every workload for a fast smoke run; the defaults
-// reproduce paper-scale settings.
+// reproduce paper-scale settings. -metrics writes a consolidated
+// machine-readable JSON file (per-experiment headline numbers, wall
+// times and the global counter registry); -trace/-v/-cpuprofile are the
+// shared observability bundle.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 type runContext struct {
 	quick bool
 	out   *os.File
+	sink  obs.Sink
+	// cur is the id of the experiment currently running; metric()
+	// records headline numbers under it for the -metrics JSON report.
+	cur     string
+	metrics map[string]map[string]any
 }
 
 func (rc *runContext) printf(format string, args ...any) {
@@ -37,6 +48,19 @@ func (rc *runContext) printf(format string, args ...any) {
 	if rc.out != nil {
 		fmt.Fprintf(rc.out, format, args...)
 	}
+}
+
+// metric records one headline number for the running experiment.
+func (rc *runContext) metric(key string, value any) {
+	if rc.metrics == nil || rc.cur == "" {
+		return
+	}
+	m := rc.metrics[rc.cur]
+	if m == nil {
+		m = map[string]any{}
+		rc.metrics[rc.cur] = m
+	}
+	m[key] = value
 }
 
 type experiment struct {
@@ -49,9 +73,14 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast smoke run")
 	runSel := flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
 	outPath := flag.String("out", "", "also append output to this file")
+	metricsPath := flag.String("metrics", "", "write consolidated per-experiment metrics JSON to this file")
+	obsCfg := obs.Flags()
 	flag.Parse()
 
-	rc := &runContext{quick: *quick}
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+
+	rc := &runContext{quick: *quick, sink: rt.Sink(), metrics: map[string]map[string]any{}}
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -88,8 +117,43 @@ func main() {
 			continue
 		}
 		rc.printf("\n================ %s: %s ================\n", e.id, e.title)
+		rc.cur = e.id
+		span := obs.NewSpan(rc.sink, "experiment/"+e.id)
 		start := time.Now()
 		e.run(rc)
-		rc.printf("[%s done in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		dur := time.Since(start)
+		span.End()
+		rc.metric("seconds", dur.Seconds())
+		rc.cur = ""
+		rc.printf("[%s done in %v]\n", e.id, dur.Round(time.Millisecond))
 	}
+
+	if *metricsPath != "" {
+		if err := writeMetrics(*metricsPath, rc); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *metricsPath)
+	}
+}
+
+// writeMetrics emits the consolidated machine-readable report: one
+// object per experiment run (headline numbers + wall time) plus a
+// snapshot of the global counter registry (simulator vectors, PODEM
+// backtracks, LFSR reseeds, ...).
+func writeMetrics(path string, rc *runContext) error {
+	report := struct {
+		Quick       bool                      `json:"quick"`
+		Experiments map[string]map[string]any `json:"experiments"`
+		Counters    map[string]int64          `json:"counters"`
+	}{
+		Quick:       rc.quick,
+		Experiments: rc.metrics,
+		Counters:    obs.Default().Snapshot(),
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -5,17 +5,25 @@
 // The stream comes either from a self-test program file (assembler
 // syntax, looped -iters times through the template architecture) or
 // from the raw pseudorandom-BIST LFSR (-bist).
+//
+// Progress renders as a throttled status line on stderr; -trace writes
+// the structured NDJSON event stream, -v adds span/summary lines and
+// -cpuprofile captures the simulator's hot loops. Ctrl-C stops the run
+// at the next segment boundary and still prints the partial summary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/bist"
 	"repro/internal/dspgate"
 	"repro/internal/fault"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 )
 
@@ -27,7 +35,24 @@ func main() {
 	curve := flag.Bool("curve", false, "print a coverage-vs-vectors curve")
 	quality := flag.Bool("quality", false, "grade all fault models (stuck-at, n-detect, transition, bridging, path delay)")
 	seed := flag.Int64("seed", 1, "LFSR seed")
+	obsCfg := obs.Flags()
 	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+
+	// The status line always renders; -v routes it through the runtime's
+	// renderer (alongside span/summary lines), so only add one here when
+	// -v is off.
+	sink := rt.Sink()
+	if !obsCfg.Verbose {
+		sink = obs.Combine(sink, obs.NewRenderer(os.Stderr))
+	}
+
+	// Ctrl-C cancels at the next segment boundary; the partial result
+	// still carries the curve and counts accumulated so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var vecs fault.Vectors
 	switch {
@@ -60,6 +85,7 @@ func main() {
 			BridgeSample: 50,
 			PathPairs:    200,
 			Seed:         *seed,
+			Sink:         sink,
 		})
 		if err != nil {
 			fail(err)
@@ -68,12 +94,15 @@ func main() {
 		return
 	}
 	res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{
-		Progress: func(cycles, detected, remaining int) {
-			fmt.Printf("\r  %8d cycles  %6d detected  %6d remaining", cycles, detected, remaining)
-		},
+		Sink: sink,
+		Ctx:  ctx,
 	})
 	if err != nil {
 		fail(err)
+	}
+	if res.Interrupted {
+		fmt.Printf("\ninterrupted after %d of %d vectors — partial results:\n",
+			res.Cycles, vecs.Len())
 	}
 	fmt.Printf("\nfault coverage: %.2f%% (%d/%d collapsed faults)\n",
 		100*res.Coverage(), res.Detected(), len(res.Faults))
@@ -87,10 +116,10 @@ func main() {
 	}
 	if *curve {
 		fmt.Println("\ncoverage vs vectors:")
-		for v := 1024; v <= vecs.Len(); v *= 2 {
+		for v := 1024; v <= res.Cycles; v *= 2 {
 			fmt.Printf("  %8d  %.2f%%\n", v, 100*res.CoverageAt(v))
 		}
-		fmt.Printf("  %8d  %.2f%%\n", vecs.Len(), 100*res.Coverage())
+		fmt.Printf("  %8d  %.2f%%\n", res.Cycles, 100*res.Coverage())
 	}
 }
 

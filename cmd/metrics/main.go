@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simpledsp"
 )
 
@@ -22,16 +23,27 @@ func main() {
 	ctrials := flag.Int("ctrials", 50000, "controllability trials per row")
 	ogood := flag.Int("ogood", 100, "observability good runs per row (each spawns 2×n injections per component)")
 	seed := flag.Int64("seed", 1, "measurement seed")
+	obsCfg := obs.Flags()
 	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
 
 	switch *table {
 	case 1:
+		span := rt.Span("metrics/table1")
 		tab := simpledsp.BuildTable(simpledsp.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
+		span.Add("rows", int64(len(tab.Rows)))
+		span.End()
 		fmt.Println("Table 1 — Controllability/Observability metrics, simple DSP datapath (C/O)")
 		fmt.Println(tab.Render())
 	case 2:
+		span := rt.Span("metrics/table2")
 		eng := metrics.NewEngine(metrics.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
 		tab := eng.BuildTable()
+		span.Add("rows", int64(len(tab.Rows)))
+		span.Add("cols", int64(len(tab.Cols)))
+		span.End()
 		fmt.Println("Table 2 — Controllability/Observability metrics, pipelined DSP core (C,O; X = covered)")
 		fmt.Printf("thresholds: Cθ=%.2f Oθ=%.2f\n\n", tab.CThreshold, tab.OThreshold)
 		fmt.Println(tab.Render())

@@ -15,6 +15,7 @@ import (
 	"repro/internal/dspgate"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/obs"
 	"repro/internal/simpledsp"
 )
 
@@ -22,7 +23,11 @@ func main() {
 	which := flag.String("core", "dsp", "which core to export: dsp or simple")
 	branches := flag.Bool("branches", false, "insert fanout-branch buffers (fault-simulation netlist)")
 	stats := flag.Bool("stats", false, "print statistics to stderr")
+	obsCfg := obs.Flags()
 	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
 
 	var n *logic.Netlist
 	var name string
@@ -43,11 +48,16 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown core %q", *which))
 	}
+	span := rt.Span("netlist/" + name)
 	if err := logic.WriteVerilog(os.Stdout, n, name); err != nil {
 		fail(err)
 	}
+	st := n.Stats()
+	span.Add("nets", int64(st.Nets))
+	span.Add("gates", int64(st.Gates))
+	span.Add("dffs", int64(st.DFFs))
+	span.End()
 	if *stats {
-		st := n.Stats()
 		fmt.Fprintf(os.Stderr, "%s: %d nets, %d gates, %d DFFs, %d inputs, %d outputs, %d levels\n",
 			name, st.Nets, st.Gates, st.DFFs, st.Inputs, st.Outputs, st.Levels)
 		collapsed, _ := fault.Collapse(n, fault.AllFaults(n))

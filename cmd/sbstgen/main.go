@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 )
 
@@ -18,11 +19,17 @@ func main() {
 	ogood := flag.Int("ogood", 50, "observability good runs per metrics row")
 	seed := flag.Int64("seed", 1, "measurement seed")
 	boost := flag.Bool("boost", false, "also print the Phase-3 frequency-boosted program")
+	obsCfg := obs.Flags()
 	flag.Parse()
 
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+
 	eng := metrics.NewEngine(metrics.Config{CTrials: *ctrials, OGoodRuns: *ogood, Seed: *seed})
-	gen := selftest.NewGenerator(eng)
+	span := rt.Span("sbstgen")
+	gen := selftest.NewGenerator(eng).WithObs(span)
 	prog, report := gen.Generate()
+	span.End()
 
 	fmt.Println("// Self-test program (loop body) — cf. paper Figure 7")
 	fmt.Print(prog)

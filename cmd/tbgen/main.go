@@ -16,6 +16,7 @@ import (
 	"repro/internal/dspgate"
 	"repro/internal/logic"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/selftest"
 )
 
@@ -23,7 +24,13 @@ func main() {
 	progPath := flag.String("prog", "", "program file (selftest Source format); default: generate one")
 	iters := flag.Int("iters", 2, "loop iterations to expand into the testbench")
 	out := flag.String("o", "dsp_core", "output basename (<o>.v and <o>_tb.v)")
+	obsCfg := obs.Flags()
 	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+	span := rt.Span("tbgen")
+	defer span.End()
 
 	var prog *selftest.Program
 	if *progPath != "" {
@@ -37,7 +44,7 @@ func main() {
 		}
 	} else {
 		eng := metrics.NewEngine(metrics.Config{CTrials: 8000, OGoodRuns: 6, Seed: 1})
-		prog, _ = selftest.NewGenerator(eng).Generate()
+		prog, _ = selftest.NewGenerator(eng).WithObs(span).Generate()
 	}
 
 	core, err := dspgate.Build(dspgate.Options{})
@@ -63,6 +70,8 @@ func main() {
 	if err := logic.WriteTestbench(tf, core.Netlist, "dsp_core", vecs, expected); err != nil {
 		fail(err)
 	}
+	span.Add("vectors", int64(len(vecs)))
+	span.Add("loop_instrs", int64(prog.Len()))
 	fmt.Printf("wrote %s.v and %s_tb.v (%d vectors, %d-instruction loop × %d iterations)\n",
 		*out, *out, len(vecs), prog.Len(), *iters)
 }

@@ -91,6 +91,51 @@ func TestPODEMAgainstBruteForceAdder(t *testing.T) {
 	}
 }
 
+func TestPODEMStatsNonZero(t *testing.T) {
+	n := buildAdder(t)
+	var agg Stats
+	detected := 0
+	for _, f := range fault.AllFaults(n) {
+		res := Generate(n, f, Options{MaxBacktracks: 5000})
+		if res.Stats.Implications == 0 {
+			t.Fatalf("fault %v: zero implications (imply always runs at least once)", f)
+		}
+		if res.Backtracks != res.Stats.Backtracks {
+			t.Fatalf("fault %v: legacy Backtracks %d != Stats.Backtracks %d",
+				f, res.Backtracks, res.Stats.Backtracks)
+		}
+		if res.Status == Detected {
+			detected++
+		}
+		agg.Merge(res.Stats)
+	}
+	if detected == 0 {
+		t.Fatal("fixture detects nothing")
+	}
+	// Across the whole campaign the search cannot be free: finding
+	// tests requires decisions, and the adder has redundancy-free cones
+	// deep enough that some exploration backtracks.
+	if agg.Decisions == 0 {
+		t.Error("campaign made zero decisions")
+	}
+	if agg.Backtracks == 0 {
+		t.Error("campaign made zero backtracks")
+	}
+	if agg.Implications <= agg.Decisions {
+		t.Errorf("implications (%d) must exceed decisions (%d): one per decision plus the initial pass",
+			agg.Implications, agg.Decisions)
+	}
+	if agg.Aborts != 0 {
+		t.Errorf("adder campaign aborted %d runs at 5000 backtracks", agg.Aborts)
+	}
+
+	// A starved backtrack budget must surface as Stats.Aborts.
+	forced := Generate(n, fault.Fault{Site: n.Outputs()[0], SA1: true}, Options{MaxBacktracks: 1})
+	if forced.Status == Aborted && forced.Stats.Aborts != 1 {
+		t.Errorf("aborted run has Stats.Aborts = %d", forced.Stats.Aborts)
+	}
+}
+
 func TestPODEMRedundantFault(t *testing.T) {
 	// y = AND(x, NOT(x)) is constantly 0: the AND output sa0 is
 	// undetectable.

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // Value is the five-valued PODEM calculus. D means good-machine 1 /
@@ -185,14 +186,49 @@ type Options struct {
 	ExtraSites []logic.NetID
 }
 
+// Stats counts the search effort of one or more PODEM runs: decisions
+// (PI assignments pushed on the decision stack), backtracks (decision
+// reversals, including second-value retries), aborts (runs that hit the
+// backtrack limit) and implications (full five-valued re-evaluations of
+// the frame). Stats add across runs with Merge, which is how callers
+// like the sequential-ATPG baseline aggregate per-campaign totals.
+type Stats struct {
+	Decisions    int
+	Backtracks   int
+	Aborts       int
+	Implications int
+}
+
+// Merge accumulates another run's counts.
+func (s *Stats) Merge(o Stats) {
+	s.Decisions += o.Decisions
+	s.Backtracks += o.Backtracks
+	s.Aborts += o.Aborts
+	s.Implications += o.Implications
+}
+
 // Result reports a PODEM run.
 type Result struct {
 	Status Status
 	// Assignment holds the PI values of the found test (unassigned PIs
 	// are don't-cares and absent).
 	Assignment map[logic.NetID]bool
+	// Backtracks duplicates Stats.Backtracks (kept for callers that
+	// predate Stats).
 	Backtracks int
+	// Stats breaks down the search effort of this run.
+	Stats Stats
 }
+
+// Default-registry counters aggregated across every PODEM run in the
+// process (snapshotted into traces by obs.Runtime.Close).
+var (
+	ctrDecisions    = obs.Default().Counter("podem.decisions")
+	ctrBacktracks   = obs.Default().Counter("podem.backtracks")
+	ctrAborts       = obs.Default().Counter("podem.aborts")
+	ctrImplications = obs.Default().Counter("podem.implications")
+	ctrRuns         = obs.Default().Counter("podem.runs")
+)
 
 type podem struct {
 	n       *logic.Netlist
@@ -205,10 +241,12 @@ type podem struct {
 	observe []logic.NetID
 	// reach[net] reports whether an assignable PI lies in the net's
 	// input cone (computed once; guides backtrace away from dead paths).
-	reach  []bool
-	assign map[logic.NetID]bool
-	maxBT  int
-	bts    int
+	reach     []bool
+	assign    map[logic.NetID]bool
+	maxBT     int
+	bts       int
+	decisions int
+	implies   int
 }
 
 // Generate runs PODEM for one stuck-at fault.
@@ -250,10 +288,26 @@ func Generate(n *logic.Netlist, f fault.Fault, opts Options) Result {
 	p.computeReach()
 	p.imply()
 	st := p.search()
-	res := Result{Status: st, Backtracks: p.bts}
+	res := Result{
+		Status:     st,
+		Backtracks: p.bts,
+		Stats: Stats{
+			Decisions:    p.decisions,
+			Backtracks:   p.bts,
+			Implications: p.implies,
+		},
+	}
+	if st == Aborted {
+		res.Stats.Aborts = 1
+	}
 	if st == Detected {
 		res.Assignment = p.assign
 	}
+	ctrRuns.Add(1)
+	ctrDecisions.Add(int64(res.Stats.Decisions))
+	ctrBacktracks.Add(int64(res.Stats.Backtracks))
+	ctrImplications.Add(int64(res.Stats.Implications))
+	ctrAborts.Add(int64(res.Stats.Aborts))
 	return res
 }
 
@@ -279,6 +333,7 @@ func (p *podem) computeReach() {
 // imply fully re-evaluates the frame under the current assignment,
 // injecting the fault at every site.
 func (p *podem) imply() {
+	p.implies++
 	n := p.n
 	for id := 0; id < n.NumNets(); id++ {
 		net := logic.NetID(id)
@@ -430,6 +485,7 @@ func (p *podem) search() Status {
 		if ok {
 			pi, piVal, found := p.backtrace(obj, objVal)
 			if found {
+				p.decisions++
 				stack = append(stack, decision{pi: pi, value: piVal})
 				p.assign[pi] = piVal
 				p.imply()

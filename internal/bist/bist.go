@@ -6,10 +6,13 @@
 package bist
 
 import (
+	"time"
+
 	"repro/internal/atpg"
 	"repro/internal/fault"
 	"repro/internal/lfsr"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // PseudorandomVectors returns count raw 17-bit LFSR words (the paper
@@ -38,6 +41,9 @@ type ATPGBaselineResult struct {
 	// Tests holds the generated tests; each is Frames input words
 	// applied from the reset state.
 	Tests [][]uint64
+	// Stats aggregates the PODEM search effort over every targeted
+	// fault (decisions, backtracks, aborts, implications).
+	Stats atpg.Stats
 }
 
 // Coverage returns the fraction of the full collapsed fault list the
@@ -60,16 +66,45 @@ func (r ATPGBaselineResult) Coverage() float64 {
 // collapses to single digits.
 func SequentialATPG(n *logic.Netlist, frames, sampleEvery, maxBacktracks int,
 	progress func(done, total int)) (*ATPGBaselineResult, error) {
+	return SequentialATPGOpts(n, SeqATPGOptions{
+		Frames:        frames,
+		SampleEvery:   sampleEvery,
+		MaxBacktracks: maxBacktracks,
+		Progress:      progress,
+	})
+}
 
+// SeqATPGOptions configure the sequential-ATPG baseline.
+type SeqATPGOptions struct {
+	// Frames is the time-frame unroll depth.
+	Frames int
+	// SampleEvery targets every k-th collapsed fault (min 1).
+	SampleEvery int
+	// MaxBacktracks bounds each PODEM run.
+	MaxBacktracks int
+	// Progress, when non-nil, is called after each targeted fault.
+	Progress func(done, total int)
+	// Sink, when non-nil, receives a "seqatpg" span, one obs.EventPhase
+	// per targeted fault (index, status, backtracks, seconds) and
+	// throttleable obs.EventProgress samples.
+	Sink obs.Sink
+}
+
+// SequentialATPGOpts is SequentialATPG with the full option set,
+// including structured per-fault tracing.
+func SequentialATPGOpts(n *logic.Netlist, opts SeqATPGOptions) (*ATPGBaselineResult, error) {
 	faults, _ := fault.Collapse(n, fault.AllFaults(n))
-	u, err := atpg.Unroll(n, frames)
+	u, err := atpg.Unroll(n, opts.Frames)
 	if err != nil {
 		return nil, err
 	}
-	res := &ATPGBaselineResult{Frames: frames, TotalFaults: len(faults)}
+	res := &ATPGBaselineResult{Frames: opts.Frames, TotalFaults: len(faults)}
+	sampleEvery := opts.SampleEvery
 	if sampleEvery < 1 {
 		sampleEvery = 1
 	}
+	span := obs.NewSpan(opts.Sink, "seqatpg")
+	targets := (len(faults) + sampleEvery - 1) / sampleEvery
 	numInputs := len(n.Inputs())
 	for i := 0; i < len(faults); i += sampleEvery {
 		f := faults[i]
@@ -79,15 +114,20 @@ func SequentialATPG(n *logic.Netlist, frames, sampleEvery, maxBacktracks int,
 			res.Untestable++
 			continue
 		}
+		var faultStart time.Time
+		if span != nil {
+			faultStart = time.Now()
+		}
 		r := atpg.Generate(u.Netlist, fault.Fault{Site: sites[0], SA1: f.SA1}, atpg.Options{
 			ExtraSites:    sites[1:],
-			MaxBacktracks: maxBacktracks,
+			MaxBacktracks: opts.MaxBacktracks,
 		})
+		res.Stats.Merge(r.Stats)
 		switch r.Status {
 		case atpg.Detected:
 			res.TestsFound++
-			test := make([]uint64, frames)
-			for fr := 0; fr < frames; fr++ {
+			test := make([]uint64, opts.Frames)
+			for fr := 0; fr < opts.Frames; fr++ {
 				var word uint64
 				for bit := 0; bit < numInputs; bit++ {
 					if r.Assignment[u.InputAt[fr][bit]] {
@@ -102,10 +142,27 @@ func SequentialATPG(n *logic.Netlist, frames, sampleEvery, maxBacktracks int,
 		case atpg.Aborted:
 			res.Aborted++
 		}
-		if progress != nil {
-			progress(res.FaultsTried, (len(faults)+sampleEvery-1)/sampleEvery)
+		if span != nil {
+			span.EventNamed(obs.EventPhase, "fault", map[string]any{
+				"index":      i,
+				"status":     r.Status.String(),
+				"backtracks": r.Stats.Backtracks,
+				"decisions":  r.Stats.Decisions,
+				"seconds":    time.Since(faultStart).Seconds(),
+			})
+			span.Event(obs.EventProgress, map[string]any{
+				"done":  res.FaultsTried,
+				"total": targets,
+			})
+		}
+		if opts.Progress != nil {
+			opts.Progress(res.FaultsTried, targets)
 		}
 	}
+	span.Add("tests_found", int64(res.TestsFound))
+	span.Add("untestable", int64(res.Untestable))
+	span.Add("aborted", int64(res.Aborted))
+	span.Add("backtracks", int64(res.Stats.Backtracks))
 
 	// Grade the test set: each test runs from reset, so faults are
 	// simulated test by test with dropping in between.
@@ -130,5 +187,16 @@ func SequentialATPG(n *logic.Netlist, frames, sampleEvery, maxBacktracks int,
 		remaining = next
 	}
 	res.DetectedTotal = detected
+	span.Event(obs.EventSummary, map[string]any{
+		"frames":      res.Frames,
+		"tried":       res.FaultsTried,
+		"tests_found": res.TestsFound,
+		"untestable":  res.Untestable,
+		"aborted":     res.Aborted,
+		"detected":    res.DetectedTotal,
+		"faults":      res.TotalFaults,
+		"coverage":    res.Coverage(),
+	})
+	span.End()
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package bist
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // buildPipeline returns a tiny sequential circuit where tests exist but
@@ -76,6 +78,56 @@ func TestSequentialATPGProgressCallback(t *testing.T) {
 	}
 	if calls == 0 {
 		t.Fatal("progress callback never invoked")
+	}
+}
+
+type recordSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *recordSink) Emit(ev obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func TestSequentialATPGStatsAndTrace(t *testing.T) {
+	n := buildPipeline(t)
+	rec := &recordSink{}
+	res, err := SequentialATPGOpts(n, SeqATPGOptions{
+		Frames: 4, SampleEvery: 1, MaxBacktracks: 2000, Sink: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Implications == 0 || res.Stats.Decisions == 0 {
+		t.Fatalf("aggregated PODEM stats empty: %+v", res.Stats)
+	}
+	perFault, summaries := 0, 0
+	for _, ev := range rec.events {
+		switch {
+		case ev.Type == obs.EventPhase && ev.Name == "seqatpg/fault":
+			perFault++
+			for _, key := range []string{"index", "status", "backtracks", "decisions", "seconds"} {
+				if _, ok := ev.Fields[key]; !ok {
+					t.Fatalf("per-fault event missing %q: %+v", key, ev.Fields)
+				}
+			}
+		case ev.Type == obs.EventSummary:
+			summaries++
+			if ev.Fields["tests_found"] != res.TestsFound {
+				t.Fatalf("summary disagrees with result: %+v", ev.Fields)
+			}
+		}
+	}
+	// The pipeline fixture unrolls every net, so every targeted fault
+	// has sites and emits exactly one per-fault event.
+	if perFault != res.FaultsTried {
+		t.Fatalf("per-fault events %d, faults tried %d", perFault, res.FaultsTried)
+	}
+	if summaries != 1 {
+		t.Fatalf("summary events %d", summaries)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
 )
 
 // QualityOptions size a multi-model test-quality evaluation.
@@ -21,6 +22,10 @@ type QualityOptions struct {
 	Seed int64
 	// Progress forwards the stuck-at pass's progress callback.
 	Progress func(cycles, detected, remaining int)
+	// Sink, when non-nil, receives a "quality" span with one child span
+	// per graded fault model (stuck_at, transition, bridging,
+	// path_delay), each ending with its timing and coverage counters.
+	Sink obs.Sink
 }
 
 // QualityReport aggregates every supported fault model's coverage for
@@ -43,8 +48,11 @@ type QualityReport struct {
 // (sampled) bridging and path-delay fault models.
 func Quality(n *logic.Netlist, vecs VectorSeq, opts QualityOptions) (*QualityReport, error) {
 	rep := &QualityReport{Vectors: vecs.Len(), NDetect: opts.NDetect}
+	root := obs.NewSpan(opts.Sink, "quality")
+	defer root.End()
 
-	sa, err := Simulate(n, vecs, SimOptions{NDetect: opts.NDetect, Progress: opts.Progress})
+	sub := root.Child("stuck_at")
+	sa, err := Simulate(n, vecs, SimOptions{NDetect: opts.NDetect, Progress: opts.Progress, Sink: opts.Sink})
 	if err != nil {
 		return nil, err
 	}
@@ -52,16 +60,27 @@ func Quality(n *logic.Netlist, vecs VectorSeq, opts QualityOptions) (*QualityRep
 	if opts.NDetect > 1 {
 		rep.NDetectCov = sa.NDetectCoverage(opts.NDetect)
 	}
+	sub.Add("detected", int64(sa.Detected()))
+	sub.Add("faults", int64(len(sa.Faults)))
+	sub.End()
 
+	sub = root.Child("transition")
 	td, err := SimulateTransitions(n, vecs, nil)
 	if err != nil {
 		return nil, err
 	}
 	rep.Transition = td
+	sub.Add("detected", int64(td.Detected()))
+	sub.Add("faults", int64(len(td.Faults)))
+	sub.End()
 
 	if opts.BridgeSample > 0 {
+		sub = root.Child("bridging")
 		bridges := RandomBridges(n, opts.BridgeSample, opts.Seed)
 		rep.BridgeDet, rep.BridgeTotal = BridgeCoverage(n, vecs, bridges)
+		sub.Add("detected", int64(rep.BridgeDet))
+		sub.Add("faults", int64(rep.BridgeTotal))
+		sub.End()
 	}
 	if opts.PathPairs > 0 {
 		var paths []Path
@@ -75,11 +94,14 @@ func Quality(n *logic.Netlist, vecs VectorSeq, opts QualityOptions) (*QualityRep
 				break
 			}
 		}
+		sub = root.Child("path_delay")
 		pd, err := SimulatePathDelay(n, vecs, paths)
 		if err != nil {
 			return nil, err
 		}
 		rep.PathDelay = pd
+		sub.Add("paths", int64(len(pd.Paths)))
+		sub.End()
 	}
 	return rep, nil
 }

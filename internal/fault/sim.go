@@ -1,10 +1,20 @@
 package fault
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// Default-registry counters for the simulator's hot loop. Handles are
+// cached once; each segment costs two atomic adds.
+var (
+	ctrRuns    = obs.Default().Counter("faultsim.runs")
+	ctrVectors = obs.Default().Counter("faultsim.vectors")
+	ctrDropped = obs.Default().Counter("faultsim.faults_dropped")
 )
 
 // VectorSeq supplies one primary-input assignment per clock cycle.
@@ -53,6 +63,17 @@ type SimOptions struct {
 	// Progress, when non-nil, is called after each segment with the
 	// number of cycles consumed and faults detected so far.
 	Progress func(cycles, detected, remaining int)
+	// Sink, when non-nil, receives a structured event stream: one
+	// obs.EventSegment per drop/repack boundary (fields done, total,
+	// detected, remaining, coverage) and a final obs.EventSummary, plus
+	// a "faultsim" span whose end carries wall time and counters. It
+	// subsumes Progress for machine consumers.
+	Sink obs.Sink
+	// Ctx, when non-nil, is polled at segment boundaries: once
+	// cancelled, the run stops early and returns the partial Result
+	// with Interrupted set (no error), so callers can still report the
+	// coverage reached before a SIGINT or deadline.
+	Ctx context.Context
 }
 
 // Result reports a fault simulation run.
@@ -66,8 +87,13 @@ type Result struct {
 	// for Faults[i], saturated at SimOptions.NDetect. Nil unless NDetect
 	// was requested.
 	Detections []int32
-	// Cycles is the total number of vectors applied.
+	// Cycles is the total number of vectors applied (less than the
+	// sequence length when the run was interrupted).
 	Cycles int
+	// Interrupted reports that SimOptions.Ctx was cancelled before the
+	// vector sequence was exhausted; the other fields describe the
+	// partial run.
+	Interrupted bool
 }
 
 // NDetectCoverage returns the fraction of faults detected in at least n
@@ -214,8 +240,15 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 		remaining[i] = i
 	}
 
+	ctrRuns.Add(1)
+	span := obs.NewSpan(opts.Sink, "faultsim")
 	total := vecs.Len()
+	applied := 0
 	for start := 0; start < total && len(remaining) > 0; start += segLen {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			res.Interrupted = true
+			break
+		}
 		end := start + segLen
 		if end > total {
 			end = total
@@ -281,10 +314,41 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 			panic("unreachable")
 		}
 		goodState, nextGoodState = nextGoodState, goodState
+		dropped := len(remaining) - len(survivors)
 		remaining = survivors
+		applied = end
+		ctrVectors.Add(int64(end - start))
+		ctrDropped.Add(int64(dropped))
+		span.Add("vectors", int64(end-start))
+		span.Add("faults_dropped", int64(dropped))
 		if opts.Progress != nil {
 			opts.Progress(end, len(faults)-len(remaining), len(remaining))
 		}
+		span.Event(obs.EventSegment, map[string]any{
+			"done":      end,
+			"total":     total,
+			"detected":  len(faults) - len(remaining),
+			"remaining": len(remaining),
+			"coverage":  safeRatio(len(faults)-len(remaining), len(faults)),
+		})
 	}
+	if res.Interrupted {
+		res.Cycles = applied
+	}
+	span.Event(obs.EventSummary, map[string]any{
+		"cycles":      res.Cycles,
+		"faults":      len(faults),
+		"detected":    res.Detected(),
+		"coverage":    res.Coverage(),
+		"interrupted": res.Interrupted,
+	})
+	span.End()
 	return res, nil
+}
+
+func safeRatio(num, den int) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
 }

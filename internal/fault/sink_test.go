@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// recordSink captures the event stream of a run.
+type recordSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (r *recordSink) Emit(ev obs.Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+func TestSimulateEmitsSegmentAndSummaryEvents(t *testing.T) {
+	n := buildAdder(t)
+	vecs := randomVectors(300, 9, 7)
+	rec := &recordSink{}
+	res, err := Simulate(n, vecs, SimOptions{SegmentLen: 64, Sink: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var segments, summaries []obs.Event
+	for _, ev := range rec.events {
+		switch ev.Type {
+		case obs.EventSegment:
+			segments = append(segments, ev)
+		case obs.EventSummary:
+			summaries = append(summaries, ev)
+		}
+	}
+	if len(segments) == 0 {
+		t.Fatal("no segment events")
+	}
+	for _, ev := range segments {
+		for _, key := range []string{"done", "total", "detected", "remaining", "coverage"} {
+			if _, ok := ev.Fields[key]; !ok {
+				t.Fatalf("segment event missing %q: %+v", key, ev.Fields)
+			}
+		}
+	}
+	if len(summaries) != 1 {
+		t.Fatalf("want exactly one summary event, got %d", len(summaries))
+	}
+	sum := summaries[0]
+	if sum.Fields["detected"] != res.Detected() || sum.Fields["faults"] != len(res.Faults) {
+		t.Fatalf("summary fields %+v disagree with result (%d/%d)",
+			sum.Fields, res.Detected(), len(res.Faults))
+	}
+	if sum.Fields["interrupted"] != false {
+		t.Fatal("uninterrupted run flagged interrupted")
+	}
+	// The span must close after the summary, with counters attached.
+	last := rec.events[len(rec.events)-1]
+	if last.Type != obs.EventSpanEnd || last.Name != "faultsim" {
+		t.Fatalf("last event %+v, want faultsim span_end", last)
+	}
+	if v, ok := last.Fields["vectors"].(int64); !ok || v == 0 {
+		t.Fatalf("span_end missing vectors counter: %+v", last.Fields)
+	}
+}
+
+// TestTraceSchemaGolden locks the event-stream shape (types, names and
+// field sets) a traced fault-simulation run produces — the contract
+// -trace consumers parse. Values vary run to run; the schema must not.
+func TestTraceSchemaGolden(t *testing.T) {
+	n := buildAdder(t)
+	vecs := randomVectors(200, 9, 7)
+	rec := &recordSink{}
+	if _, err := Simulate(n, vecs, SimOptions{SegmentLen: 128, Sink: rec}); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines []string
+	seen := map[string]bool{}
+	for _, ev := range rec.events {
+		keys := make([]string, 0, len(ev.Fields))
+		for k := range ev.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		line := fmt.Sprintf("%s %s [%s]", ev.Type, ev.Name, strings.Join(keys, ","))
+		if !seen[line] { // schema, not cardinality
+			seen[line] = true
+			lines = append(lines, line)
+		}
+	}
+	got := strings.Join(lines, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "trace_schema.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("trace schema drifted:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	// The same stream serialized through the NDJSON sink must be one
+	// valid JSON object per line.
+	var buf bytes.Buffer
+	nd := obs.NewNDJSONSink(&buf)
+	for _, ev := range rec.events {
+		nd.Emit(ev)
+	}
+	nd.Flush()
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("NDJSON line %d invalid: %v", i+1, err)
+		}
+	}
+}
+
+func TestSimulateInterrupted(t *testing.T) {
+	n := buildSeq(t)
+	vecs := randomVectors(4096, 4, 11)
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &recordSink{}
+	interruptAt := 0
+	res, err := Simulate(n, vecs, SimOptions{
+		SegmentLen: 32,
+		Ctx:        ctx,
+		Sink:       rec,
+		Progress: func(cycles, detected, remaining int) {
+			if cycles >= 64 && interruptAt == 0 {
+				interruptAt = cycles
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("cancelled run not flagged interrupted")
+	}
+	if res.Cycles >= vecs.Len() || res.Cycles < interruptAt {
+		t.Fatalf("partial Cycles = %d (interrupted at %d of %d)", res.Cycles, interruptAt, vecs.Len())
+	}
+	// The summary must still be emitted, flagged interrupted.
+	var sum *obs.Event
+	for i := range rec.events {
+		if rec.events[i].Type == obs.EventSummary {
+			sum = &rec.events[i]
+		}
+	}
+	if sum == nil {
+		t.Fatal("no summary event after interruption")
+	}
+	if sum.Fields["interrupted"] != true || sum.Fields["cycles"] != res.Cycles {
+		t.Fatalf("interrupted summary %+v", sum.Fields)
+	}
+	// A pre-cancelled context must stop before the first segment.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	res2, err := Simulate(n, vecs, SimOptions{Ctx: ctx2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Interrupted || res2.Cycles != 0 || res2.Detected() != 0 {
+		t.Fatalf("pre-cancelled run: %+v", res2)
+	}
+}

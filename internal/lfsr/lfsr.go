@@ -8,7 +8,16 @@
 // pseudorandom-BIST baseline of Section 3.5.
 package lfsr
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// ctrReseeds counts every LFSR (re)seeding on the default observability
+// registry — construction and explicit Reseed calls both count, so a
+// trace shows how many independent pseudorandom streams a run consumed.
+var ctrReseeds = obs.Default().Counter("lfsr.reseeds")
 
 // primitiveTaps maps register width to a tap mask for a maximal-length
 // Fibonacci LFSR (taps from the standard XNOR/XOR tables; bit i set means
@@ -93,7 +102,19 @@ func NewWithTaps(width int, taps uint64, seed uint64) (*LFSR, error) {
 	if seed == 0 {
 		seed = 1
 	}
+	ctrReseeds.Add(1)
 	return &LFSR{state: seed, taps: taps & mask, width: width}, nil
+}
+
+// Reseed restarts the register from a new seed (0 is replaced by 1, as
+// in New) without changing the polynomial.
+func (l *LFSR) Reseed(seed uint64) {
+	seed &= widthMask(l.width)
+	if seed == 0 {
+		seed = 1
+	}
+	l.state = seed
+	ctrReseeds.Add(1)
 }
 
 func widthMask(width int) uint64 {

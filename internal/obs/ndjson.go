@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// NDJSONSink serializes events as newline-delimited JSON: exactly one
+// JSON object per line, flat key space, with "t" (seconds since the
+// sink was opened), "type" and "name" always present. encoding/json
+// sorts map keys, so output is deterministic for a given event stream
+// up to the timestamps.
+type NDJSONSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	epoch time.Time
+	// now is the clock (overridable in tests for golden output).
+	now func() time.Time
+}
+
+// NewNDJSONSink wraps a writer. Call Flush (or Runtime.Close) before
+// the process exits to drain the buffer.
+func NewNDJSONSink(w io.Writer) *NDJSONSink {
+	return &NDJSONSink{w: bufio.NewWriter(w), epoch: time.Now(), now: time.Now}
+}
+
+// Emit writes one event as a JSON line. Events with T == 0 are stamped
+// with the time since the sink was opened. Encoding errors are silently
+// dropped — telemetry must never fail the run it observes.
+func (s *NDJSONSink) Emit(ev Event) {
+	obj := make(map[string]any, len(ev.Fields)+3)
+	for k, v := range ev.Fields {
+		obj[k] = v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := ev.T
+	if t == 0 {
+		t = s.now().Sub(s.epoch).Seconds()
+	}
+	obj["t"] = t
+	obj["type"] = ev.Type
+	obj["name"] = ev.Name
+	line, err := json.Marshal(obj)
+	if err != nil {
+		return
+	}
+	s.w.Write(line)
+	s.w.WriteByte('\n')
+}
+
+// Flush drains the internal buffer to the underlying writer.
+func (s *NDJSONSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}

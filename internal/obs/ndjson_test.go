@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// TestNDJSONGolden locks the NDJSON wire format: one JSON object per
+// line, stable key order, reserved keys t/type/name always present.
+func TestNDJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	fake := sink.epoch
+	sink.now = func() time.Time { fake = fake.Add(250 * time.Millisecond); return fake }
+
+	sink.Emit(Event{Type: EventSpanStart, Name: "faultsim"})
+	sink.Emit(Event{Type: EventSegment, Name: "faultsim", Fields: map[string]any{
+		"done": 1024, "total": 4096, "detected": 310, "remaining": 205, "coverage": 0.6019,
+	}})
+	sink.Emit(Event{T: 1.5, Type: EventSummary, Name: "faultsim", Fields: map[string]any{
+		"cycles": 4096, "faults": 515, "detected": 488, "coverage": 0.9476, "interrupted": false,
+	}})
+	sink.Emit(Event{T: 1.75, Type: EventCounters, Name: "registry", Fields: map[string]any{
+		"faultsim.vectors": int64(4096), "podem.backtracks": int64(0),
+	}})
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "trace.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("NDJSON output drifted from golden:\ngot:\n%swant:\n%s", got, want)
+	}
+
+	// Independently of the byte-exact golden, every line must be a
+	// standalone JSON object with the reserved schema keys.
+	for i, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i+1, err)
+		}
+		for _, key := range []string{"t", "type", "name"} {
+			if _, ok := obj[key]; !ok {
+				t.Fatalf("line %d missing reserved key %q: %s", i+1, key, line)
+			}
+		}
+		if _, ok := obj["t"].(float64); !ok {
+			t.Fatalf("line %d: t is not a number", i+1)
+		}
+	}
+}
+
+func TestNDJSONStampsTime(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewNDJSONSink(&buf)
+	fake := sink.epoch
+	sink.now = func() time.Time { fake = fake.Add(2 * time.Second); return fake }
+	sink.Emit(Event{Type: EventPhase, Name: "x"})
+	sink.Flush()
+	var obj map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &obj); err != nil {
+		t.Fatal(err)
+	}
+	if obj["t"].(float64) != 2 {
+		t.Fatalf("auto-stamped t = %v, want 2", obj["t"])
+	}
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a cached handle to one named registry counter. Adds are a
+// single atomic operation, cheap enough for per-segment and per-run
+// accounting in hot loops (cache the handle in a package variable; do
+// not call Registry.Counter per iteration).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter. Nil-safe.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Set stores an absolute value (gauge semantics). Nil-safe.
+func (c *Counter) Set(v int64) {
+	if c != nil {
+		c.v.Store(v)
+	}
+}
+
+// Load returns the current value (0 for nil).
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Registry is a process-wide table of named counters and gauges:
+// vectors simulated, faults dropped, PODEM backtracks and aborts, LFSR
+// reseeds, greedy-cover iterations, and whatever later subsystems add.
+// Lookup is mutex-guarded; mutation through Counter handles is atomic.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*Counter)}
+}
+
+// Counter returns (creating if needed) the handle for a named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Add increments a named counter (convenience for cold paths).
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Set stores a gauge value.
+func (r *Registry) Set(name string, v int64) { r.Counter(name).Set(v) }
+
+// Snapshot returns a copy of every counter's current value.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset zeroes every counter (tests and repeated in-process runs).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.counters {
+		c.Set(0)
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry the internal packages
+// report through.
+func Default() *Registry { return defaultRegistry }
+
+// Add increments a named counter on the default registry.
+func Add(name string, delta int64) { defaultRegistry.Add(name, delta) }

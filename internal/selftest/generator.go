@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Report documents how a program was derived: the metrics table, the
@@ -45,15 +46,28 @@ func (r *Report) Summary() string {
 type Generator struct {
 	eng   *metrics.Engine
 	table *metrics.Table
+	span  *obs.Span
 }
 
 // NewGenerator wraps a metrics engine.
 func NewGenerator(eng *metrics.Engine) *Generator { return &Generator{eng: eng} }
 
+// WithObs attaches an instrumentation span: table construction, the
+// Phase-1 covering pass, Phase-2 sequence construction and final
+// assembly each run under a child span, with per-step phase events.
+func (g *Generator) WithObs(span *obs.Span) *Generator {
+	g.span = span
+	return g
+}
+
 // Table builds (once) and returns the metrics table.
 func (g *Generator) Table() *metrics.Table {
 	if g.table == nil {
+		sub := g.span.Child("metrics_table")
 		g.table = g.eng.BuildTable()
+		sub.Add("rows", int64(len(g.table.Rows)))
+		sub.Add("cols", int64(len(g.table.Cols)))
+		sub.End()
 	}
 	return g.table
 }
@@ -64,9 +78,30 @@ func (g *Generator) Table() *metrics.Table {
 // around the pipeline's delay slot.
 func (g *Generator) Generate() (*Program, *Report) {
 	t := g.Table()
-	p1 := Phase1(t)
-	p2 := Phase2(g.eng, t, p1)
+
+	sub := g.span.Child("phase1")
+	p1 := Phase1Traced(t, sub)
+	sub.Add("chosen", int64(len(p1.Chosen)))
+	sub.Add("uncovered", int64(len(p1.Uncovered)))
+	sub.End()
+
+	sub = g.span.Child("phase2")
+	p2 := Phase2Traced(g.eng, t, p1, sub)
+	sub.Add("sequences", int64(len(p2.Sequences)))
+	sub.Add("discarded", int64(len(p2.Discarded)))
+	sub.Add("unresolved", int64(len(p2.Unresolved)))
+	sub.End()
+
+	sub = g.span.Child("assemble")
 	prog := g.assemble(t, p1, p2)
+	sub.Add("loop_instrs", int64(prog.Len()))
+	sub.End()
+	g.span.Event(obs.EventSummary, map[string]any{
+		"loop_instrs": prog.Len(),
+		"phase1_rows": len(p1.Chosen),
+		"phase2_seqs": len(p2.Sequences),
+		"unresolved":  len(p2.Unresolved),
+	})
 	return prog, &Report{Table: t, Phase1: p1, Phase2: p2}
 }
 

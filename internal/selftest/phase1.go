@@ -3,7 +3,11 @@ package selftest
 import (
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
+
+// Greedy-cover effort counter (one increment per candidate-row scan).
+var ctrGreedyIters = obs.Default().Counter("phase1.greedy_iterations")
 
 // Phase1Result records the global-coverage covering pass.
 type Phase1Result struct {
@@ -24,7 +28,12 @@ type Phase1Result struct {
 // Phase1 runs the paper's global coverage phase: remove the columns the
 // Load/Out wrappers cover, then repeatedly pick the instruction variant
 // covering the most remaining columns until no instruction covers any.
-func Phase1(t *metrics.Table) *Phase1Result {
+func Phase1(t *metrics.Table) *Phase1Result { return Phase1Traced(t, nil) }
+
+// Phase1Traced is Phase1 with an optional span: each greedy pick emits
+// an obs.EventPhase (row, name, covered, remaining) so the covering
+// pass is visible while it runs and replayable from a trace.
+func Phase1Traced(t *metrics.Table, span *obs.Span) *Phase1Result {
 	res := &Phase1Result{CoveredBy: make(map[int]int)}
 	remaining := make(map[int]bool, len(t.Cols))
 	for c := range t.Cols {
@@ -48,6 +57,7 @@ func Phase1(t *metrics.Table) *Phase1Result {
 
 	// Greedy cover.
 	for len(remaining) > 0 {
+		ctrGreedyIters.Add(1)
 		best, bestCount := -1, 0
 		for r, row := range t.Rows {
 			if row.Op == isa.OpLdi || row.Op == isa.OpOut {
@@ -73,6 +83,13 @@ func Phase1(t *metrics.Table) *Phase1Result {
 				res.CoveredBy[c] = best
 			}
 		}
+		span.EventNamed(obs.EventPhase, "pick", map[string]any{
+			"row":       best,
+			"name":      t.Rows[best].Name,
+			"covered":   bestCount,
+			"remaining": len(remaining),
+		})
+		span.Add("picks", 1)
 	}
 
 	for c := range t.Cols {

@@ -4,6 +4,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/isa"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ValidatedSeq is a Phase-2 instruction sequence proven (by the metrics
@@ -30,25 +31,47 @@ type Phase2Result struct {
 // instruction sequences, validating each candidate with the metrics
 // engine before accepting it.
 func Phase2(eng *metrics.Engine, t *metrics.Table, p1 *Phase1Result) *Phase2Result {
+	return Phase2Traced(eng, t, p1, nil)
+}
+
+// Phase2Traced is Phase2 with an optional span: every column resolution
+// (sequence found, discarded as unreachable, or unresolved) emits an
+// obs.EventPhase, and candidate validations are counted on the span.
+func Phase2Traced(eng *metrics.Engine, t *metrics.Table, p1 *Phase1Result, span *obs.Span) *Phase2Result {
 	res := &Phase2Result{}
 	for _, col := range p1.Uncovered {
 		// Rule (b): unreachable control-bit modes are discarded.
 		if !anyRowActive(t, col) {
 			res.Discarded = append(res.Discarded, col)
+			span.EventNamed(obs.EventPhase, "column", map[string]any{
+				"column": t.Cols[col].Label(), "outcome": "discarded",
+			})
 			continue
 		}
 		covered := false
+		candidates := 0
 		for _, seq := range candidateSequences(t, col) {
+			candidates++
+			span.Add("candidates_validated", 1)
 			cells := eng.MeasureSequence(seq)
 			cell := cells[col]
 			if cell.Active && cell.C >= t.CThreshold && cell.O >= t.OThreshold {
 				res.Sequences = append(res.Sequences, ValidatedSeq{Col: col, Seq: seq, Cell: cell})
 				covered = true
+				span.EventNamed(obs.EventPhase, "column", map[string]any{
+					"column": t.Cols[col].Label(), "outcome": "covered",
+					"seq_len": len(seq.Instrs), "candidates": candidates,
+					"c": cell.C, "o": cell.O,
+				})
 				break
 			}
 		}
 		if !covered {
 			res.Unresolved = append(res.Unresolved, col)
+			span.EventNamed(obs.EventPhase, "column", map[string]any{
+				"column": t.Cols[col].Label(), "outcome": "unresolved",
+				"candidates": candidates,
+			})
 		}
 	}
 	return res
