@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/dspgate"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -61,7 +62,17 @@ func main() {
 	fmt.Printf("observed %d failing cycles of %d\n", failures, len(observed))
 	span.Add("failing_cycles", int64(failures))
 
-	cands, err := fault.Diagnose(core.Netlist, vecs, observed, faults)
+	// Stage-1 candidate simulation shards across -workers cores; the
+	// result feeds Diagnose so it skips its own serial pass.
+	presim, err := engine.Simulate(core.Netlist, vecs, engine.SimOptions{
+		SimOptions: fault.SimOptions{Faults: faults, Sink: rt.Sink()},
+		Workers:    obsCfg.Workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	cands, err := fault.DiagnoseOpts(core.Netlist, vecs, observed, faults,
+		fault.DiagnoseOptions{Presim: presim})
 	if err != nil {
 		fail(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/atpg"
 	"repro/internal/bist"
 	"repro/internal/dspgate"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/logic"
@@ -56,6 +57,22 @@ func progressPrinter(rc *runContext) func(cycles, detected, remaining int) {
 			rc.printf("    ... %8d cycles, %6d detected, %5d remaining\n", cycles, detected, remaining)
 		}
 	}
+}
+
+// simulate runs a sharded fault simulation with the tool's -workers
+// shard count (1 = the exact serial path).
+func simulate(rc *runContext, c *dspgate.Core, vecs fault.Vectors, progress bool) *fault.Result {
+	opts := fault.SimOptions{Sink: rc.sink}
+	if progress {
+		opts.Progress = progressPrinter(rc)
+	}
+	res, err := engine.Simulate(c.Netlist, vecs, engine.SimOptions{
+		SimOptions: opts, Workers: rc.workers,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 func runE1(rc *runContext) {
@@ -161,12 +178,7 @@ func runE5(rc *runContext) {
 	c := core(rc)
 	rc.printf("program: %d instructions × %d iterations = %d vectors (paper: 34 × 6000 = 204,000)\n",
 		prog.Len(), iters, vecs.Len())
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
-		Progress: progressPrinter(rc), Sink: rc.sink,
-	})
-	if err != nil {
-		panic(err)
-	}
+	res := simulate(rc, c, vecs, true)
 	fc := res.Coverage()
 	rc.printf("fault coverage: %.2f%% (%d/%d)   [paper: 98.14%%]\n",
 		100*fc, res.Detected(), len(res.Faults))
@@ -251,12 +263,7 @@ func runE7(rc *runContext) {
 	vecs := selftest.Expand(boosted, selftest.ExpandOptions{Iterations: iters})
 	c := core(rc)
 	rc.printf("boosted program: %d instructions (base: %d)\n", boosted.Len(), prog.Len())
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
-		Progress: progressPrinter(rc), Sink: rc.sink,
-	})
-	if err != nil {
-		panic(err)
-	}
+	res := simulate(rc, c, vecs, true)
 	rc.printf("enhanced fault coverage at %d iterations: %.2f%%   [paper: 98.42%%]\n",
 		iters, 100*res.Coverage())
 	rc.metric("enhanced_coverage", res.Coverage())
@@ -327,12 +334,7 @@ func runE9(rc *runContext) {
 	}
 	vecs := bist.PseudorandomVectors(count, 1)
 	c := core(rc)
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
-		Progress: progressPrinter(rc), Sink: rc.sink,
-	})
-	if err != nil {
-		panic(err)
-	}
+	res := simulate(rc, c, vecs, true)
 	rc.printf("raw 17-bit LFSR, %d vectors (paper: all 131,071)\n", count)
 	rc.printf("fault coverage: %.2f%%\n", 100*res.Coverage())
 	rc.metric("vectors", count)
@@ -357,12 +359,7 @@ func runE10(rc *runContext) {
 	}
 	vecs := bist.IRSTVectors(bist.IRSTOptions{Vectors: count, Seed: 1, OutEvery: 6})
 	c := core(rc)
-	res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{
-		Progress: progressPrinter(rc), Sink: rc.sink,
-	})
-	if err != nil {
-		panic(err)
-	}
+	res := simulate(rc, c, vecs, true)
 	rc.printf("randomized-instruction stream, %d vectors, OUT every 6th\n", count)
 	rc.printf("fault coverage: %.2f%%\n", 100*res.Coverage())
 	rc.metric("coverage", res.Coverage())
@@ -394,10 +391,7 @@ func runE11(rc *runContext) {
 			label = "rotation disabled"
 		}
 		vecs := selftest.Expand(prog, selftest.ExpandOptions{Iterations: iters, DisableRegMask: disable})
-		res, err := fault.Simulate(c.Netlist, vecs, fault.SimOptions{Sink: rc.sink})
-		if err != nil {
-			panic(err)
-		}
+		res := simulate(rc, c, vecs, false)
 		rfDet, rfTot := res.RegionCoverage(c.Netlist, "RegFile")
 		key := "coverage_with_rotation"
 		if disable {

@@ -34,9 +34,10 @@ import (
 )
 
 type runContext struct {
-	quick bool
-	out   *os.File
-	sink  obs.Sink
+	quick   bool
+	out     *os.File
+	sink    obs.Sink
+	workers int
 	// cur is the id of the experiment currently running; metric()
 	// records headline numbers under it for the -metrics JSON report.
 	cur     string
@@ -80,7 +81,8 @@ func main() {
 	rt := obsCfg.MustStart()
 	defer rt.Close()
 
-	rc := &runContext{quick: *quick, sink: rt.Sink(), metrics: map[string]map[string]any{}}
+	rc := &runContext{quick: *quick, sink: rt.Sink(), workers: obsCfg.Workers,
+		metrics: map[string]map[string]any{}}
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {

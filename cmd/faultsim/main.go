@@ -7,9 +7,10 @@
 // from the raw pseudorandom-BIST LFSR (-bist).
 //
 // Progress renders as a throttled status line on stderr; -trace writes
-// the structured NDJSON event stream, -v adds span/summary lines and
-// -cpuprofile captures the simulator's hot loops. Ctrl-C stops the run
-// at the next segment boundary and still prints the partial summary.
+// the structured NDJSON event stream, -v adds span/summary lines,
+// -cpuprofile captures the simulator's hot loops and -workers shards
+// the fault list across cores (1 = exact serial path). Ctrl-C stops the
+// run at the next segment boundary and still prints the partial summary.
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 
 	"repro/internal/bist"
 	"repro/internal/dspgate"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/isa"
 	"repro/internal/obs"
@@ -93,9 +95,12 @@ func main() {
 		fmt.Print(rep)
 		return
 	}
-	res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{
-		Sink: sink,
-		Ctx:  ctx,
+	res, err := engine.Simulate(core.Netlist, vecs, engine.SimOptions{
+		SimOptions: fault.SimOptions{
+			Sink: sink,
+			Ctx:  ctx,
+		},
+		Workers: obsCfg.Workers,
 	})
 	if err != nil {
 		fail(err)

@@ -1,0 +1,107 @@
+// Command sbstd is the self-test campaign server: a long-running HTTP
+// daemon that queues fault-simulation, n-detect, sequential-ATPG and
+// composite experiment jobs against the gate-level DSP core and runs
+// them on a worker pool, sharding each fault simulation across cores.
+//
+//	sbstd -addr :8321 -checkpoint campaigns.json
+//
+//	curl -X POST localhost:8321/jobs \
+//	     -d '{"kind":"fault_sim","vectors":{"kind":"bist","count":20000}}'
+//	curl localhost:8321/jobs/job-0001            # state + progress
+//	curl localhost:8321/jobs/job-0001/result     # coverage numbers
+//
+// SIGTERM/SIGINT drains gracefully: submissions get 503, running jobs
+// finish (until -drain-timeout, after which they stop at the next
+// segment boundary and return to the queue), and the final checkpoint
+// captures every job so a restart with the same -checkpoint resumes the
+// campaign.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "HTTP listen address")
+	queueWorkers := flag.Int("queue-workers", 2, "concurrent job executors")
+	maxPending := flag.Int("max-pending", 64, "bounded pending-job buffer")
+	maxAttempts := flag.Int("max-attempts", 2, "attempts per job before a panic fails it")
+	checkpoint := flag.String("checkpoint", "", "JSON state file for checkpoint/resume")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "forced-stop deadline after SIGTERM")
+	obsCfg := obs.Flags()
+	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+
+	q := engine.NewQueue(engine.QueueOptions{
+		Workers:     *queueWorkers,
+		MaxPending:  *maxPending,
+		MaxAttempts: *maxAttempts,
+		Exec: engine.NewExecutor(engine.ExecConfig{
+			Workers: obsCfg.Workers,
+			Sink:    rt.Sink(),
+		}),
+		Checkpoint: *checkpoint,
+		Sink:       rt.Sink(),
+	})
+	if *checkpoint != "" {
+		switch err := q.Restore(*checkpoint); {
+		case err == nil:
+			resumed := 0
+			for _, j := range q.Jobs() {
+				if j.State == engine.JobQueued {
+					resumed++
+				}
+			}
+			fmt.Fprintf(os.Stderr, "sbstd: restored %d jobs (%d resumable) from %s\n",
+				len(q.Jobs()), resumed, *checkpoint)
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh campaign; the file appears at the first checkpoint.
+		default:
+			fail(err)
+		}
+	}
+	q.Start()
+
+	srv := &http.Server{Addr: *addr, Handler: engine.NewServer(q)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sbstd: listening on %s\n", *addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
+		fail(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "sbstd: draining...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sbstd: http shutdown:", err)
+	}
+	if err := q.Drain(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "sbstd: drain:", err)
+	}
+	fmt.Fprintln(os.Stderr, "sbstd: drained")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sbstd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/bist"
+	"repro/internal/fault"
+)
+
+// benchWorkload is the Table-1-scale pseudorandom campaign on the
+// gate-level DSP core: the full collapsed fault list against 8192 LFSR
+// vectors, the same workload shape cmd/experiments runs for the paper
+// tables. Compare BenchmarkSimulateSerial with the sharded variants:
+//
+//	go test -bench Simulate -benchtime 3x ./internal/engine
+//
+// The acceptance bar is ≥ 2× wall-clock speedup at 4+ workers.
+const benchVectors = 8192
+
+func benchSimulate(b *testing.B, workers int) {
+	core, faults, err := sharedCore()
+	if err != nil {
+		b.Fatal(err)
+	}
+	vecs := bist.PseudorandomVectors(benchVectors, 1)
+	b.ResetTimer()
+	var cov float64
+	for i := 0; i < b.N; i++ {
+		res, err := Simulate(core.Netlist, vecs, SimOptions{
+			SimOptions: fault.SimOptions{Faults: faults},
+			Workers:    workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov = res.Coverage()
+	}
+	b.ReportMetric(cov*100, "coverage%")
+	b.ReportMetric(float64(benchVectors)*float64(b.N)/b.Elapsed().Seconds(), "vectors/s")
+}
+
+func BenchmarkSimulateSerial(b *testing.B) { benchSimulate(b, 1) }
+
+func BenchmarkSimulateSharded(b *testing.B) {
+	for _, workers := range []int{2, 4, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchSimulate(b, workers)
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// checkpointVersion guards the on-disk schema; bump on incompatible
+// changes so a stale file fails loudly instead of resuming garbage.
+const checkpointVersion = 1
+
+// checkpointFile is the JSON state written by Checkpoint: every job in
+// submission order plus the ID counter, enough to resume a partially
+// completed campaign after a restart. Completed and failed jobs keep
+// their results; queued and running jobs are restored as queued and
+// re-enqueued.
+type checkpointFile struct {
+	Version int   `json:"version"`
+	NextID  int   `json:"next_id"`
+	Jobs    []Job `json:"jobs"`
+}
+
+// Checkpoint atomically writes the queue state to the configured path
+// (write to a temp file in the same directory, then rename). A queue
+// without a checkpoint path is a no-op.
+func (q *Queue) Checkpoint() error {
+	if q.opts.Checkpoint == "" {
+		return nil
+	}
+	q.mu.Lock()
+	cp := checkpointFile{Version: checkpointVersion, NextID: q.nextID}
+	cp.Jobs = make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		j := snapshotJob(q.jobs[id])
+		if j.State == JobRunning {
+			// A running job serialized mid-flight resumes from scratch.
+			j.State = JobQueued
+		}
+		cp.Jobs = append(cp.Jobs, j)
+	}
+	q.mu.Unlock()
+
+	data, err := json.MarshalIndent(&cp, "", "  ")
+	if err != nil {
+		return fmt.Errorf("engine: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(q.opts.Checkpoint)
+	tmp, err := os.CreateTemp(dir, ".sbstd-checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("engine: checkpoint temp: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), q.opts.Checkpoint); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: rename checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore loads a checkpoint file into a fresh queue, re-enqueueing
+// every non-terminal job. Call before Start and before any Submit;
+// restoring into a started or non-empty queue is an error.
+func (q *Queue) Restore(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return fmt.Errorf("engine: parse checkpoint %s: %w", path, err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("engine: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started || len(q.jobs) > 0 {
+		return fmt.Errorf("engine: Restore on a started or non-empty queue")
+	}
+	pending := 0
+	for i := range cp.Jobs {
+		if cp.Jobs[i].State == JobQueued || cp.Jobs[i].State == JobRunning {
+			pending++
+		}
+	}
+	if pending > cap(q.work) {
+		// Grow the pending buffer so every resumable job fits.
+		q.work = make(chan string, pending)
+	}
+	q.nextID = cp.NextID
+	for i := range cp.Jobs {
+		j := cp.Jobs[i]
+		if j.State == JobRunning {
+			j.State = JobQueued
+		}
+		q.jobs[j.ID] = &j
+		q.order = append(q.order, j.ID)
+		if j.State == JobQueued {
+			q.work <- j.ID
+		}
+	}
+	return nil
+}

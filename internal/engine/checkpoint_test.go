@@ -1,0 +1,160 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedQueue builds the deterministic queue state behind the golden
+// file: a completed, a failed and a still-queued job with pinned
+// timestamps.
+func fixedQueue(t *testing.T, checkpointPath string) *Queue {
+	t.Helper()
+	clock := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
+	q := NewQueue(QueueOptions{
+		Checkpoint: checkpointPath,
+		now:        func() time.Time { return clock },
+		Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			return &JobResult{}, nil
+		},
+	})
+	done, _ := q.Submit(JobSpec{Kind: JobFaultSim,
+		Vectors: VectorSource{Kind: "bist", Count: 4096, Seed: 1}, Workers: 4})
+	bad, _ := q.Submit(JobSpec{Kind: JobSeqATPG, Frames: 3, SampleEvery: 40})
+	if _, err := q.Submit(JobSpec{Kind: JobNDetect, NDetect: 5,
+		Vectors: VectorSource{Kind: "bist", Count: 2048}}); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-finish the first two without running the pool so the state
+	// is fully deterministic.
+	q.mu.Lock()
+	started := clock.Add(time.Second)
+	finished := clock.Add(3 * time.Second)
+	j1 := q.jobs[done.ID]
+	j1.State = JobCompleted
+	j1.Attempts = 1
+	j1.Started, j1.Finished = &started, &finished
+	j1.Progress = Progress{Done: 4096, Total: 4096, Detected: 8800, Remaining: 520, Coverage: 0.9442}
+	j1.Result = &JobResult{Faults: 9320, Detected: 8800, Cycles: 4096, Coverage: 0.9442, Seconds: 2}
+	j2 := q.jobs[bad.ID]
+	j2.State = JobFailed
+	j2.Attempts = 2
+	j2.Started, j2.Finished = &started, &finished
+	j2.Error = "engine: job panic: simulated"
+	q.mu.Unlock()
+	return q
+}
+
+// TestCheckpointGoldenRoundTrip pins the on-disk schema: the golden
+// file restores into a queue whose own checkpoint is byte-identical.
+func TestCheckpointGoldenRoundTrip(t *testing.T) {
+	golden := filepath.Join("testdata", "checkpoint.golden.json")
+	tmp := filepath.Join(t.TempDir(), "ckpt.json")
+
+	if *update {
+		q := fixedQueue(t, tmp)
+		if err := q.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(tmp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	q := NewQueue(QueueOptions{Checkpoint: tmp,
+		Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			return &JobResult{}, nil
+		}})
+	if err := q.Restore(golden); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("checkpoint round trip drifted from golden:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCheckpointResume is the restart story: drain a queue with work
+// still pending, restore the checkpoint into a fresh queue, and watch
+// the pending job run to completion while finished results survive.
+func TestCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	release := make(chan struct{})
+	exec := func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+		if spec.Vectors.Count == 200 {
+			// Blocks forever in the first life; a forced drain cancels
+			// it back to queued, exactly like a long campaign cut short
+			// by SIGTERM.
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ErrInterrupted
+			}
+		}
+		return &JobResult{Coverage: 0.5, Cycles: spec.Vectors.Count}, nil
+	}
+
+	q1 := NewQueue(QueueOptions{Workers: 1, Checkpoint: path, Exec: exec})
+	q1.Start()
+	first, _ := q1.Submit(specN(100))
+	waitState(t, q1, first.ID, JobCompleted)
+	second, _ := q1.Submit(specN(200))
+	waitState(t, q1, second.ID, JobRunning)
+	drainCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := q1.Drain(drainCtx); err == nil {
+		t.Fatal("forced drain of a blocked job reported no deadline error")
+	}
+	if j, _ := q1.Get(second.ID); j.State != JobQueued {
+		t.Fatalf("interrupted job state %s, want queued", j.State)
+	}
+
+	close(release)
+	q2 := NewQueue(QueueOptions{Workers: 1, Checkpoint: path, Exec: exec})
+	if err := q2.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	if j, ok := q2.Get(first.ID); !ok || j.State != JobCompleted || j.Result == nil || j.Result.Cycles != 100 {
+		t.Fatalf("completed job did not survive restart: %+v", j)
+	}
+	q2.Start()
+	j := waitState(t, q2, second.ID, JobCompleted)
+	if j.Result == nil || j.Result.Cycles != 200 {
+		t.Fatalf("resumed job result %+v", j.Result)
+	}
+	// A third submission continues the ID sequence instead of reusing
+	// job-0002.
+	third, err := q2.Submit(specN(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.ID != "job-0003" {
+		t.Fatalf("post-restore ID %s, want job-0003", third.ID)
+	}
+	waitState(t, q2, third.ID, JobCompleted)
+	// Settle the pool before t.TempDir cleanup races its checkpoints.
+	if err := q2.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,251 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bist"
+	"repro/internal/dspgate"
+	"repro/internal/fault"
+	"repro/internal/isa"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/selftest"
+)
+
+// ExecConfig configures the standard executor.
+type ExecConfig struct {
+	// Workers is the default fault-simulation shard count for jobs that
+	// leave Spec.Workers at zero (0 = all cores).
+	Workers int
+	// Sink receives each campaign's event stream.
+	Sink obs.Sink
+}
+
+// Shared, immutable campaign fixtures: the gate-level core (and its
+// collapsed fault list) is built once per process, and the default
+// metrics-driven self-test program is generated once on first use.
+var (
+	coreOnce   sync.Once
+	coreVal    *dspgate.Core
+	coreFaults []fault.Fault
+	coreErr    error
+
+	defProgOnce sync.Once
+	defProg     *selftest.Program
+)
+
+func sharedCore() (*dspgate.Core, []fault.Fault, error) {
+	coreOnce.Do(func() {
+		coreVal, coreErr = dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
+		if coreErr == nil {
+			coreFaults, _ = fault.Collapse(coreVal.Netlist, fault.AllFaults(coreVal.Netlist))
+		}
+	})
+	return coreVal, coreFaults, coreErr
+}
+
+// NewExecutor returns the production Executor: it runs every job kind
+// against the gate-level DSP core, sharding fault simulation through
+// Simulate.
+func NewExecutor(cfg ExecConfig) Executor {
+	return func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+		core, faults, err := sharedCore()
+		if err != nil {
+			return nil, err
+		}
+		switch spec.Kind {
+		case JobFaultSim, JobNDetect:
+			vecs, err := resolveVectors(spec.Vectors)
+			if err != nil {
+				return nil, err
+			}
+			return runFaultSim(ctx, cfg, core, faults, spec, vecs, update)
+		case JobSeqATPG:
+			return runSeqATPG(ctx, cfg, core, spec, update)
+		case JobExperiment:
+			return runExperiment(ctx, cfg, core, faults, spec, update)
+		default:
+			return nil, fmt.Errorf("engine: unknown job kind %q", spec.Kind)
+		}
+	}
+}
+
+// resolveVectors expands a VectorSource into the stimulus stream.
+func resolveVectors(src VectorSource) (fault.Vectors, error) {
+	switch src.Kind {
+	case "bist":
+		return bist.PseudorandomVectors(src.Count, uint64(src.Seed)), nil
+	case "program":
+		prog, err := isa.Assemble(src.Program)
+		if err != nil {
+			return nil, err
+		}
+		iters := src.Iterations
+		if iters <= 0 {
+			iters = 1000
+		}
+		return selftest.Expand(&selftest.Program{Loop: prog},
+			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
+	case "selftest":
+		prog := generatedProgram(src)
+		iters := src.Iterations
+		if iters <= 0 {
+			iters = 1000
+		}
+		return selftest.Expand(prog,
+			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
+	default:
+		return nil, fmt.Errorf("engine: unknown vector source %q", src.Kind)
+	}
+}
+
+// generatedProgram runs the metrics-driven generator. The default
+// configuration is generated once and shared; explicit CTrials/OGoodRuns
+// produce a fresh program.
+func generatedProgram(src VectorSource) *selftest.Program {
+	if src.CTrials == 0 && src.OGoodRuns == 0 {
+		defProgOnce.Do(func() {
+			eng := metrics.NewEngine(metrics.Config{CTrials: 8000, OGoodRuns: 6, Seed: 1})
+			defProg, _ = selftest.NewGenerator(eng).Generate()
+		})
+		return defProg
+	}
+	cfg := metrics.Config{CTrials: src.CTrials, OGoodRuns: src.OGoodRuns, Seed: 1}
+	if cfg.CTrials <= 0 {
+		cfg.CTrials = 8000
+	}
+	if cfg.OGoodRuns <= 0 {
+		cfg.OGoodRuns = 6
+	}
+	prog, _ := selftest.NewGenerator(metrics.NewEngine(cfg)).Generate()
+	return prog
+}
+
+func runFaultSim(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults []fault.Fault,
+	spec JobSpec, vecs fault.Vectors, update func(Progress)) (*JobResult, error) {
+
+	ndet := 0
+	if spec.Kind == JobNDetect {
+		ndet = spec.NDetect
+		if ndet < 2 {
+			ndet = 5
+		}
+	}
+	workers := spec.Workers
+	if workers == 0 {
+		workers = cfg.Workers
+	}
+	total := vecs.Len()
+	res, err := Simulate(core.Netlist, vecs, SimOptions{
+		SimOptions: fault.SimOptions{
+			Faults:     faults,
+			NDetect:    ndet,
+			SegmentLen: spec.SegmentLen,
+			Ctx:        ctx,
+			Sink:       cfg.Sink,
+			Progress: func(cycles, detected, remaining int) {
+				update(Progress{
+					Done: cycles, Total: total,
+					Detected: detected, Remaining: remaining,
+					Coverage: safeRatio(detected, detected+remaining),
+				})
+			},
+		},
+		Workers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Interrupted {
+		return nil, fmt.Errorf("%w: %d/%d vectors applied", ErrInterrupted, res.Cycles, total)
+	}
+	jr := &JobResult{
+		Faults:   len(res.Faults),
+		Detected: res.Detected(),
+		Cycles:   res.Cycles,
+		Coverage: res.Coverage(),
+	}
+	if ndet > 1 {
+		jr.NDetect = ndet
+		jr.NDetectCoverage = res.NDetectCoverage(ndet)
+	}
+	return jr, nil
+}
+
+func runSeqATPG(ctx context.Context, cfg ExecConfig, core *dspgate.Core,
+	spec JobSpec, update func(Progress)) (*JobResult, error) {
+
+	frames := spec.Frames
+	if frames <= 0 {
+		frames = 3
+	}
+	sample := spec.SampleEvery
+	if sample <= 0 {
+		sample = 40
+	}
+	backtracks := spec.MaxBacktracks
+	if backtracks <= 0 {
+		backtracks = 300
+	}
+	res, err := bist.SequentialATPGOpts(core.Netlist, bist.SeqATPGOptions{
+		Frames: frames, SampleEvery: sample, MaxBacktracks: backtracks,
+		Sink: cfg.Sink,
+		Progress: func(done, total int) {
+			update(Progress{Done: done, Total: total})
+			// The ATPG loop has no cancellation hook; a drain deadline
+			// surfaces as an interrupted job at the next fault boundary.
+			if ctx != nil && ctx.Err() != nil {
+				panic(ErrInterrupted)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Faults:     res.TotalFaults,
+		Coverage:   res.Coverage(),
+		TestsFound: res.TestsFound,
+		Untestable: res.Untestable,
+		Aborted:    res.Aborted,
+	}, nil
+}
+
+// runExperiment is the composite campaign behind the paper's headline
+// comparison: fault-simulate the requested stimulus and a raw-LFSR BIST
+// baseline of the same length, reporting both coverages side by side.
+func runExperiment(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults []fault.Fault,
+	spec JobSpec, update func(Progress)) (*JobResult, error) {
+
+	vecs, err := resolveVectors(spec.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	sub := spec
+	sub.Kind = JobFaultSim
+	main, err := runFaultSim(ctx, cfg, core, faults, sub, vecs, update)
+	if err != nil {
+		return nil, err
+	}
+	seed := spec.Vectors.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	baselineVecs := bist.PseudorandomVectors(vecs.Len(), uint64(seed))
+	baseline, err := runFaultSim(ctx, cfg, core, faults, sub, baselineVecs, update)
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Faults:   main.Faults,
+		Detected: main.Detected,
+		Cycles:   main.Cycles,
+		Coverage: main.Coverage,
+		Sub: map[string]*JobResult{
+			"stimulus":      main,
+			"bist_baseline": baseline,
+		},
+	}, nil
+}

@@ -1,0 +1,347 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Queue errors surfaced to submitters.
+var (
+	// ErrQueueFull reports that the bounded pending buffer is at
+	// capacity; the caller should retry later (HTTP 503).
+	ErrQueueFull = errors.New("engine: job queue full")
+	// ErrDraining reports that the queue has stopped accepting work.
+	ErrDraining = errors.New("engine: queue draining")
+	// ErrInterrupted is returned by executors whose campaign was cut
+	// short by queue shutdown; the job goes back to queued so a
+	// checkpoint restore re-runs it.
+	ErrInterrupted = errors.New("engine: job interrupted by shutdown")
+)
+
+// Executor runs one job spec to completion. update (never nil) publishes
+// progress snapshots; ctx is cancelled when a drain deadline forces
+// running jobs to stop, in which case the executor should return
+// ErrInterrupted (wrapped or bare).
+type Executor func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error)
+
+// QueueOptions configure NewQueue.
+type QueueOptions struct {
+	// Workers is the number of concurrent job executors (default 1;
+	// each fault-sim job additionally shards across cores on its own).
+	Workers int
+	// MaxPending bounds the not-yet-running buffer (default 64).
+	MaxPending int
+	// MaxAttempts is the per-job run budget consumed by panics before
+	// the job fails (default 2: one retry after a first panic).
+	MaxAttempts int
+	// Exec runs jobs; required.
+	Exec Executor
+	// Checkpoint, when non-empty, is the JSON state file written after
+	// every terminal job transition and on drain.
+	Checkpoint string
+	// Sink receives queue lifecycle events (job state transitions).
+	Sink obs.Sink
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+// Queue is a bounded in-process job queue with a worker pool,
+// retry-on-panic recovery and JSON checkpoint/resume. All exported
+// methods are safe for concurrent use.
+type Queue struct {
+	opts QueueOptions
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string
+	nextID int
+
+	work     chan string
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	draining bool
+	started  bool
+
+	jobCtx    context.Context
+	jobCancel context.CancelFunc
+}
+
+// NewQueue builds a queue; call Start (after an optional Restore) to
+// launch the worker pool.
+func NewQueue(opts QueueOptions) *Queue {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.MaxPending <= 0 {
+		opts.MaxPending = 64
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 2
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Queue{
+		opts:      opts,
+		jobs:      make(map[string]*Job),
+		work:      make(chan string, opts.MaxPending),
+		stop:      make(chan struct{}),
+		jobCtx:    ctx,
+		jobCancel: cancel,
+	}
+}
+
+// Start launches the worker pool. It is a no-op when already started.
+func (q *Queue) Start() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.started || q.draining {
+		return
+	}
+	q.started = true
+	for i := 0; i < q.opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// Submit validates and enqueues a job, returning a snapshot of the
+// queued entry. It fails fast with ErrDraining after a drain began and
+// ErrQueueFull when the pending buffer is at capacity.
+func (q *Queue) Submit(spec JobSpec) (Job, error) {
+	if err := spec.Validate(); err != nil {
+		return Job{}, err
+	}
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return Job{}, ErrDraining
+	}
+	q.nextID++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%04d", q.nextID),
+		Spec:    spec,
+		State:   JobQueued,
+		Created: q.opts.now().UTC(),
+	}
+	select {
+	case q.work <- j.ID:
+	default:
+		q.nextID--
+		q.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	snap := snapshotJob(j)
+	q.mu.Unlock()
+	q.emit(snap, "submitted")
+	return snap, nil
+}
+
+// Get returns a snapshot of one job.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return snapshotJob(j), true
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (q *Queue) Jobs() []Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Job, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, snapshotJob(q.jobs[id]))
+	}
+	return out
+}
+
+// Counts reports queue occupancy by state.
+func (q *Queue) Counts() map[JobState]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	counts := make(map[JobState]int, 4)
+	for _, j := range q.jobs {
+		counts[j.State]++
+	}
+	return counts
+}
+
+// Draining reports whether the queue has stopped accepting work.
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.draining
+}
+
+// Drain stops accepting submissions, lets running jobs finish, then
+// writes a final checkpoint. If ctx expires first, running jobs are
+// cancelled (they stop at the next segment boundary and return to the
+// queued state) and the checkpoint still captures them for resume.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if !q.draining {
+		q.draining = true
+		close(q.stop)
+	}
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		q.jobCancel()
+		<-done
+		err = ctx.Err()
+	}
+	if cerr := q.Checkpoint(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		// Drain takes priority over pending work: queued jobs stay
+		// queued (and checkpointed) rather than starting mid-shutdown.
+		select {
+		case <-q.stop:
+			return
+		default:
+		}
+		select {
+		case <-q.stop:
+			return
+		case id := <-q.work:
+			q.run(id)
+		}
+	}
+}
+
+func (q *Queue) run(id string) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return
+	}
+	now := q.opts.now().UTC()
+	j.State = JobRunning
+	j.Attempts++
+	j.Started = &now
+	j.Error = ""
+	snap := snapshotJob(j)
+	q.mu.Unlock()
+	q.emit(snap, "started")
+
+	update := func(p Progress) {
+		q.mu.Lock()
+		j.Progress = p
+		q.mu.Unlock()
+	}
+	start := time.Now()
+	res, err, panicked := q.execute(j.Spec, update)
+	elapsed := time.Since(start).Seconds()
+
+	q.mu.Lock()
+	fin := q.opts.now().UTC()
+	j.Finished = &fin
+	requeue := false
+	switch {
+	case err == nil:
+		if res != nil {
+			res.Seconds = elapsed
+		}
+		j.State = JobCompleted
+		j.Result = res
+	case errors.Is(err, ErrInterrupted) || q.jobCtx.Err() != nil:
+		// Shutdown cut the campaign short: keep the job queued so a
+		// checkpoint restore re-runs it, and give the attempt back.
+		j.State = JobQueued
+		j.Attempts--
+		j.Error = err.Error()
+	case panicked && j.Attempts < q.opts.MaxAttempts:
+		j.State = JobQueued
+		j.Error = err.Error()
+		requeue = true
+	default:
+		j.State = JobFailed
+		j.Error = err.Error()
+	}
+	if requeue {
+		select {
+		case q.work <- j.ID:
+		default:
+			j.State = JobFailed
+			j.Error = "retry dropped: " + j.Error + " (queue full)"
+			requeue = false
+		}
+	}
+	snap = snapshotJob(j)
+	q.mu.Unlock()
+	q.emit(snap, string(snap.State))
+	if snap.State == JobCompleted || snap.State == JobFailed {
+		if q.opts.Checkpoint != "" {
+			_ = q.Checkpoint()
+		}
+	}
+}
+
+// execute runs the executor with panic containment: a panicking job
+// takes down neither its worker goroutine nor the queue.
+func (q *Queue) execute(spec JobSpec, update func(Progress)) (res *JobResult, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = true
+			err = fmt.Errorf("engine: job panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	res, err = q.opts.Exec(q.jobCtx, spec, update)
+	return res, err, false
+}
+
+func (q *Queue) emit(j Job, what string) {
+	obs.Emit(q.opts.Sink, obs.Event{
+		Type: obs.EventPhase,
+		Name: "queue/" + j.ID,
+		Fields: map[string]any{
+			"event":    what,
+			"kind":     string(j.Spec.Kind),
+			"state":    string(j.State),
+			"attempts": j.Attempts,
+		},
+	})
+}
+
+// snapshotJob copies a job for hand-out. Result is shared intentionally:
+// it is written once before the terminal transition and immutable after.
+func snapshotJob(j *Job) Job {
+	c := *j
+	if j.Started != nil {
+		t := *j.Started
+		c.Started = &t
+	}
+	if j.Finished != nil {
+		t := *j.Finished
+		c.Finished = &t
+	}
+	return c
+}

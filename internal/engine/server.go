@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Server exposes a Queue over HTTP:
+//
+//	POST /jobs              submit a JobSpec, 202 + the queued job
+//	GET  /jobs              list jobs in submission order
+//	GET  /jobs/{id}         one job's state and progress snapshot
+//	GET  /jobs/{id}/result  the completed result (409 until terminal)
+//	GET  /healthz           liveness + queue occupancy
+//
+// Error bodies are {"error": "..."} JSON. Submission answers 400 on a
+// malformed or invalid spec and 503 while draining or when the bounded
+// queue is full.
+type Server struct {
+	q   *Queue
+	mux *http.ServeMux
+}
+
+// NewServer wraps a queue in the HTTP API.
+func NewServer(q *Queue) *Server {
+	s := &Server{q: q, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.submit)
+	s.mux.HandleFunc("GET /jobs", s.list)
+	s.mux.HandleFunc("GET /jobs/{id}", s.get)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	s.mux.HandleFunc("GET /healthz", s.health)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		return
+	}
+	job, err := s.q.Submit(spec)
+	switch {
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err.Error())
+	default:
+		writeJSON(w, http.StatusAccepted, job)
+	}
+}
+
+func (s *Server) list(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.q.Jobs()})
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.q.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.q.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		return
+	}
+	switch job.State {
+	case JobCompleted:
+		writeJSON(w, http.StatusOK, job.Result)
+	case JobFailed:
+		writeJSON(w, http.StatusOK, map[string]any{"error": job.Error, "state": job.State})
+	default:
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"state":    job.State,
+			"progress": job.Progress,
+		})
+	}
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.q.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": status,
+		"jobs":   s.q.Counts(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

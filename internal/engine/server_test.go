@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, opts QueueOptions) (*httptest.Server, *Queue) {
+	t.Helper()
+	if opts.Exec == nil {
+		opts.Exec = func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			update(Progress{Done: spec.Vectors.Count, Total: spec.Vectors.Count, Coverage: 0.75})
+			return &JobResult{Coverage: 0.75, Cycles: spec.Vectors.Count, Faults: 42, Detected: 31}, nil
+		}
+	}
+	q := NewQueue(opts)
+	q.Start()
+	srv := httptest.NewServer(NewServer(q))
+	t.Cleanup(srv.Close)
+	return srv, q
+}
+
+func decode(t *testing.T, resp *http.Response, into any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerJobLifecycle drives the full submit → poll → result flow.
+func TestServerJobLifecycle(t *testing.T) {
+	srv, _ := testServer(t, QueueOptions{Workers: 1})
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":512},"workers":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", resp.StatusCode)
+	}
+	var job Job
+	decode(t, resp, &job)
+	if job.ID == "" || job.Spec.Kind != JobFaultSim {
+		t.Fatalf("submitted job %+v", job)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d", resp.StatusCode)
+		}
+		decode(t, resp, &job)
+		if job.State == JobCompleted {
+			break
+		}
+		if job.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %s (error %q)", job.State, job.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if job.Progress.Done != 512 || job.Progress.Coverage != 0.75 {
+		t.Fatalf("final progress %+v", job.Progress)
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result status %d, want 200", resp.StatusCode)
+	}
+	var res JobResult
+	decode(t, resp, &res)
+	if res.Coverage != 0.75 || res.Cycles != 512 || res.Faults != 42 {
+		t.Fatalf("result %+v", res)
+	}
+
+	var list struct{ Jobs []Job }
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode(t, resp, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Fatalf("job list %+v", list.Jobs)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string
+		Jobs   map[JobState]int
+	}
+	decode(t, resp, &health)
+	if health.Status != "ok" || health.Jobs[JobCompleted] != 1 {
+		t.Fatalf("health %+v", health)
+	}
+}
+
+// TestServerErrorPaths covers the 400/404/409 surface.
+func TestServerErrorPaths(t *testing.T) {
+	srv, _ := testServer(t, QueueOptions{Workers: 1})
+
+	for _, body := range []string{
+		`{not json`,
+		`{"kind":"bogus"}`,
+		`{"kind":"fault_sim","vectors":{"kind":"bist"}}`,
+		`{"kind":"fault_sim","vectors":{"kind":"bist","count":10},"unknown_field":1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("submit %q status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	for _, path := range []string{"/jobs/job-9999", "/jobs/job-9999/result"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerResultNotReady answers 409 with the live progress while the
+// job is still queued or running.
+func TestServerResultNotReady(t *testing.T) {
+	release := make(chan struct{})
+	srv, _ := testServer(t, QueueOptions{
+		Workers: 1,
+		Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			<-release
+			return &JobResult{Coverage: 1}, nil
+		},
+	})
+	defer close(release)
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	decode(t, resp, &job)
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early result status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServerGracefulDrain: during a drain, running work finishes,
+// submissions get 503 and healthz reports draining.
+func TestServerGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	srv, q := testServer(t, QueueOptions{
+		Workers: 1,
+		Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			started <- struct{}{}
+			<-release
+			return &JobResult{Coverage: 0.5}, nil
+		},
+	})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	decode(t, resp, &job)
+	<-started
+
+	drained := make(chan error, 1)
+	go func() { drained <- q.Drain(context.Background()) }()
+	waitDraining := time.Now().Add(5 * time.Second)
+	for !q.Draining() {
+		if time.Now().After(waitDraining) {
+			t.Fatal("queue never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain status %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct{ Status string }
+	decode(t, resp, &health)
+	if health.Status != "draining" {
+		t.Fatalf("health status %q during drain", health.Status)
+	}
+
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatal(err)
+	}
+	got, _ := q.Get(job.ID)
+	if got.State != JobCompleted {
+		t.Fatalf("job state %s after graceful drain, want completed", got.State)
+	}
+}
+
+// TestServerRealFaultSimJob runs one genuine sharded campaign through
+// the HTTP surface against the gate-level core.
+func TestServerRealFaultSimJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real campaign in -short mode")
+	}
+	srv, _ := testServer(t, QueueOptions{
+		Workers: 1,
+		Exec:    NewExecutor(ExecConfig{Workers: 4}),
+	})
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":1024,"seed":1},"workers":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	decode(t, resp, &job)
+	deadline := time.Now().Add(2 * time.Minute)
+	for job.State != JobCompleted {
+		if job.State == JobFailed || time.Now().After(deadline) {
+			t.Fatalf("job state %s (error %q)", job.State, job.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+		resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		decode(t, resp, &job)
+	}
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res JobResult
+	decode(t, resp, &res)
+	if res.Faults == 0 || res.Detected == 0 || res.Coverage <= 0.5 || res.Cycles != 1024 {
+		t.Fatalf("implausible campaign result %+v", res)
+	}
+	fmt.Printf("real campaign: %d/%d faults, coverage %.2f%%\n", res.Detected, res.Faults, 100*res.Coverage)
+}

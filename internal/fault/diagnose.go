@@ -82,6 +82,15 @@ func (c Candidate) Score() int {
 	return s
 }
 
+// DiagnoseOptions tune Diagnose.
+type DiagnoseOptions struct {
+	// Presim, when non-nil, supplies the stage-1 first-detection result
+	// for the candidate list — e.g. from engine.Simulate sharded across
+	// every core — so Diagnose skips its own serial simulation. Its
+	// Faults slice replaces the candidate list.
+	Presim *Result
+}
+
 // Diagnose performs cause-effect single-stuck-at diagnosis: it simulates
 // every candidate fault against the test and ranks candidates by how
 // well their response matches the observed failing trace. This is the
@@ -93,6 +102,12 @@ func (c Candidate) Score() int {
 // are trace-matched exactly.
 func Diagnose(n *logic.Netlist, vecs VectorSeq, observed ObservedTrace,
 	candidates []Fault) ([]Candidate, error) {
+	return DiagnoseOpts(n, vecs, observed, candidates, DiagnoseOptions{})
+}
+
+// DiagnoseOpts is Diagnose with the full option set.
+func DiagnoseOpts(n *logic.Netlist, vecs VectorSeq, observed ObservedTrace,
+	candidates []Fault, opts DiagnoseOptions) ([]Candidate, error) {
 
 	good := GoodTrace(n, vecs)
 	firstFail := -1
@@ -106,15 +121,19 @@ func Diagnose(n *logic.Netlist, vecs VectorSeq, observed ObservedTrace,
 		return nil, nil // machine passed: nothing to diagnose
 	}
 
-	if candidates == nil {
-		candidates, _ = Collapse(n, AllFaults(n))
-	}
 	// Stage 1: parallel simulation gives each candidate's first
 	// detection cycle; a single-fault hypothesis must first fail exactly
 	// where the observation first fails.
-	res, err := Simulate(n, vecs, SimOptions{Faults: candidates})
-	if err != nil {
-		return nil, err
+	res := opts.Presim
+	if res == nil {
+		if candidates == nil {
+			candidates, _ = Collapse(n, AllFaults(n))
+		}
+		var err error
+		res, err = Simulate(n, vecs, SimOptions{Faults: candidates})
+		if err != nil {
+			return nil, err
+		}
 	}
 	var survivors []Fault
 	for i, f := range res.Faults {

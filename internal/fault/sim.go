@@ -226,10 +226,15 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 		res.Detections = counts
 	}
 
-	// Per-fault saved DFF state at the current segment boundary.
+	// states[k] is the saved DFF state at the current segment boundary
+	// of fault remaining[k], all slices carved from one flat backing
+	// allocation. Survivors are compacted to the front of the array at
+	// each boundary, so detected faults stop carrying state and late
+	// segments touch a shrinking prefix of the backing memory.
+	backing := make([]uint64, len(faults)*stateWords)
 	states := make([][]uint64, len(faults))
 	for i := range states {
-		states[i] = make([]uint64, stateWords)
+		states[i] = backing[i*stateWords : (i+1)*stateWords : (i+1)*stateWords]
 	}
 	goodState := make([]uint64, stateWords)
 	nextGoodState := make([]uint64, stateWords)
@@ -261,7 +266,7 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 			w.SetLaneState(0, goodState)
 			for li, fi := range batch {
 				lane := uint(li + 1)
-				w.SetLaneState(lane, states[fi])
+				w.SetLaneState(lane, states[batchStart+li])
 				w.Inject(faults[fi].Site, faults[fi].SA1, lane)
 			}
 			w.ApplyInjectionsToValues()
@@ -303,7 +308,10 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 				if counts[fi] >= int32(ndet) {
 					continue
 				}
-				w.LaneState(uint(li+1), states[fi])
+				// Compact: survivor k's state lands in slot k, which is
+				// at or before this lane's old slot batchStart+li, so no
+				// live state is overwritten.
+				w.LaneState(uint(li+1), states[len(survivors)])
 				survivors = append(survivors, fi)
 			}
 		}

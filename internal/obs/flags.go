@@ -4,16 +4,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 )
 
-// Config is the shared observability flag bundle every cmd/* tool
-// registers: -trace (NDJSON event file), -v (human progress renderer)
-// and -cpuprofile (pprof capture of the hot loops).
+// Config is the shared observability-and-parallelism flag bundle every
+// cmd/* tool registers: -trace (NDJSON event file), -v (human progress
+// renderer), -cpuprofile (pprof capture of the hot loops) and -workers
+// (fault-simulation shard count consumed by internal/engine).
 type Config struct {
 	Trace      string
 	Verbose    bool
 	CPUProfile string
+	Workers    int
 }
 
 // Flags registers the bundle on the default flag set (call before
@@ -26,6 +29,8 @@ func FlagsOn(fs *flag.FlagSet) *Config {
 	fs.StringVar(&c.Trace, "trace", "", "write an NDJSON event trace to this file")
 	fs.BoolVar(&c.Verbose, "v", false, "render live progress (rate/ETA) to stderr")
 	fs.StringVar(&c.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.IntVar(&c.Workers, "workers", runtime.NumCPU(),
+		"parallel fault-simulation shards (1 = exact serial path)")
 	return c
 }
 
