@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bist"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // benchWorkload is the Table-1-scale pseudorandom campaign on the
@@ -19,17 +20,19 @@ import (
 // The acceptance bar is ≥ 2× wall-clock speedup at 4+ workers.
 const benchVectors = 8192
 
-func benchSimulate(b *testing.B, workers int) {
+func benchSimulate(b *testing.B, workers int, kernel fault.Kernel) {
 	core, faults, err := sharedCore()
 	if err != nil {
 		b.Fatal(err)
 	}
 	vecs := bist.PseudorandomVectors(benchVectors, 1)
+	evals := obs.Default().Counter("faultsim.gate_evals")
+	evals0 := evals.Load()
 	b.ResetTimer()
 	var cov float64
 	for i := 0; i < b.N; i++ {
 		res, err := Simulate(core.Netlist, vecs, SimOptions{
-			SimOptions: fault.SimOptions{Faults: faults},
+			SimOptions: fault.SimOptions{Faults: faults, Kernel: kernel},
 			Workers:    workers,
 		})
 		if err != nil {
@@ -39,14 +42,29 @@ func benchSimulate(b *testing.B, workers int) {
 	}
 	b.ReportMetric(cov*100, "coverage%")
 	b.ReportMetric(float64(benchVectors)*float64(b.N)/b.Elapsed().Seconds(), "vectors/s")
+	// Gate evaluations per applied vector cycle, from the obs counter
+	// delta over the timed runs (the saving the event-driven kernel's
+	// whole point; the reference kernel counts whole gates, the compiled
+	// kernel compiled instructions).
+	b.ReportMetric(float64(evals.Load()-evals0)/(float64(benchVectors)*float64(b.N)), "gate-evals/cycle")
 }
 
-func BenchmarkSimulateSerial(b *testing.B) { benchSimulate(b, 1) }
+func BenchmarkSimulateSerial(b *testing.B) { benchSimulate(b, 1, fault.KernelCompiled) }
 
 func BenchmarkSimulateSharded(b *testing.B) {
 	for _, workers := range []int{2, 4, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			benchSimulate(b, workers)
+			benchSimulate(b, workers, fault.KernelCompiled)
 		})
 	}
+}
+
+// BenchmarkSimulateKernels pits the kernels against each other on the
+// serial path: `reference` is the pre-compiled-kernel WordSim full
+// sweep, `compiled` the event-driven kernel with good-machine caching.
+// scripts/bench_kernel.sh records both into BENCH_3.json; the acceptance
+// bar is ≥ 3× wall-clock on `compiled` versus `reference`.
+func BenchmarkSimulateKernels(b *testing.B) {
+	b.Run("reference", func(b *testing.B) { benchSimulate(b, 1, fault.KernelReference) })
+	b.Run("compiled", func(b *testing.B) { benchSimulate(b, 1, fault.KernelCompiled) })
 }

@@ -6,12 +6,16 @@
 // The sharding model exploits the independence of single-stuck-at
 // faults: each faulty machine evolves in its own bit lane and never
 // observes its batch-mates, so partitioning the collapsed fault list
-// into contiguous shards and simulating each shard on its own
-// logic.WordSim produces per-fault results bit-identical to the serial
-// fault.Simulate. Simulate merges the shard results back into one
-// fault.Result by index, so every downstream consumer (coverage curves,
-// region breakdowns, diagnosis presimulation) is oblivious to the
-// parallelism.
+// into contiguous shards and simulating each shard on its own simulator
+// produces per-fault results bit-identical to the serial fault.Simulate.
+// Simulate merges the shard results back into one fault.Result by
+// index, so every downstream consumer (coverage curves, region
+// breakdowns, diagnosis presimulation) is oblivious to the parallelism.
+//
+// Each shard runs the kernel selected by the embedded
+// fault.SimOptions.Kernel — the compiled event-driven kernel by default
+// (see docs/PERFORMANCE.md); sharding composes with it because shards
+// share one immutable compiled program via logic.CompiledFor.
 package engine
 
 import (
@@ -33,7 +37,7 @@ var (
 type SimOptions struct {
 	fault.SimOptions
 	// Workers is the number of simulation shards, each with its own
-	// WordSim on its own goroutine. Zero selects runtime.NumCPU(); one
+	// simulator on its own goroutine. Zero selects runtime.NumCPU(); one
 	// takes the exact serial fault.Simulate path.
 	Workers int
 }

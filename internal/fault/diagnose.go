@@ -159,7 +159,7 @@ func DiagnoseOpts(n *logic.Netlist, vecs VectorSeq, observed ObservedTrace,
 func traceMatchBatched(n *logic.Netlist, vecs VectorSeq, good, observed ObservedTrace,
 	cands []Fault) []Candidate {
 
-	w := logic.NewWordSim(n)
+	w := logic.NewCompiledSim(logic.CompiledFor(n))
 	inputs := n.Inputs()
 	outputs := n.Outputs()
 	var out []Candidate

@@ -1,0 +1,152 @@
+package fault
+
+import (
+	"repro/internal/logic"
+	"repro/internal/obs"
+)
+
+// kernel.go is the compiled event-driven fault-simulation kernel
+// (SimOptions.Kernel == KernelCompiled, the default).
+//
+// Per segment it simulates the fault-free machine exactly once on a
+// logic.CompiledSim, recording every net's settled value per cycle into
+// a logic.GoodTrace. Each 63-fault batch then replays the segment on a
+// logic.EventSim, which evaluates only the batch's fanout-cone logic —
+// everything outside the cone is read from the trace — so a batch pays
+// for its diverged gates instead of the whole frame. The drop/repack
+// segmentation, detection bookkeeping and telemetry match
+// simulateReference cycle for cycle; the differential tests in this
+// package and kernel_equiv_test.go at the repo root enforce
+// bit-identical results.
+func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result {
+	inputs := n.Inputs()
+	c := logic.CompiledFor(n)
+	good := logic.NewCompiledSim(c)
+	ev := logic.NewEventSim(c)
+	r := newSimRun(n, vecs, opts, good.StateWords())
+	nextGoodState := make([]uint64, good.StateWords())
+
+	total := vecs.Len()
+	traceLen := r.segLen
+	if total < traceLen {
+		traceLen = total
+	}
+	trace := logic.NewGoodTrace(n.NumNets(), traceLen)
+
+	batchFaults := make([]logic.BatchFault, 0, 63)
+	laneStates := make([][]uint64, 0, 63)
+
+	// Adaptive segmentation: results are segment-length-invariant (every
+	// cycle of every batch replay checks detection), so segment length is
+	// purely a scheduling choice. Short early segments repack survivors
+	// while coverage ramps steeply — detected faults stop occupying batch
+	// lanes within tens of cycles instead of replaying a full 1024-cycle
+	// frame — and the length doubles toward segLen as drops become rare.
+	// An explicit opts.SegmentLen pins the boundaries (the differential
+	// fuzz tests rely on that to align both kernels' telemetry).
+	adaptive := opts.SegmentLen <= 0
+	curLen := r.segLen
+	if adaptive && curLen > 64 {
+		curLen = 64
+	}
+
+	ctrRuns.Add(1)
+	span := obs.NewSpan(opts.Sink, "faultsim")
+	applied := 0
+	for start := 0; start < total && len(r.remaining) > 0; start = applied {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			r.res.Interrupted = true
+			break
+		}
+		end := start + curLen
+		if end > total {
+			end = total
+		}
+		if adaptive && curLen < r.segLen {
+			curLen *= 2
+		}
+		segVecs := r.expandSegment(vecs, start, end)
+
+		// Good-machine pass: once per segment instead of once per batch.
+		// The CompiledSim carries the fault-free DFF state across
+		// segments (it is never injected), so no state reload is needed.
+		trace.Reset(len(segVecs))
+		for rc, vec := range segVecs {
+			for bi, in := range inputs {
+				good.SetInput(in, vec>>uint(bi)&1 == 1)
+			}
+			good.Settle()
+			trace.Record(rc, good)
+			good.ClockAfterSettle()
+		}
+		good.LaneState(0, nextGoodState)
+		segEvals := good.TakeEvals()
+		var segSaved int64
+
+		var survivors []int
+		for batchStart := 0; batchStart < len(r.remaining); batchStart += 63 {
+			batch := r.remaining[batchStart:min(batchStart+63, len(r.remaining))]
+			batchFaults = batchFaults[:0]
+			laneStates = laneStates[:0]
+			for li, fi := range batch {
+				batchFaults = append(batchFaults, logic.BatchFault{
+					Site: r.faults[fi].Site,
+					SA1:  r.faults[fi].SA1,
+				})
+				laneStates = append(laneStates, r.states[batchStart+li])
+			}
+			ev.BeginBatch(batchFaults, trace, laneStates)
+			var doneMask uint64
+			liveMask := uint64(1)<<uint(len(batch)+1) - 2 // lanes 1..len
+			for rc := range segVecs {
+				diff := ev.Cycle(rc) & liveMask &^ doneMask
+				if diff != 0 {
+					for li := range batch {
+						if diff>>(uint(li)+1)&1 == 0 {
+							continue
+						}
+						fi := batch[li]
+						r.counts[fi]++
+						if r.res.DetectedAt[fi] < 0 {
+							r.res.DetectedAt[fi] = int32(start + rc)
+						}
+						if r.counts[fi] >= int32(r.ndet) {
+							doneMask |= 1 << uint(li+1)
+							// The lane's result is final; retiring it lets
+							// its divergence die out so later cycles pay
+							// only for the still-live faults.
+							ev.RetireLane(uint(li + 1))
+						}
+					}
+					if doneMask == liveMask {
+						// Whole batch done: no lane survives, so no lane
+						// state will be read — safe to abandon the
+						// segment replay early.
+						break
+					}
+				}
+				ev.Clock(rc)
+			}
+			for li, fi := range batch {
+				if r.counts[fi] >= int32(r.ndet) {
+					continue
+				}
+				// Compact (see simulateReference). Out-of-cone DFFs never
+				// diverge, so the lane state is the good next state
+				// overlaid with the cone's flip-flops.
+				ev.LaneStateInto(uint(li+1), nextGoodState, r.states[len(survivors)])
+				survivors = append(survivors, fi)
+			}
+			be, bs := ev.EndBatch()
+			segEvals += be
+			segSaved += bs
+		}
+		applied = end
+		ctrGateEvals.Add(segEvals)
+		ctrGateEvalsSaved.Add(segSaved)
+		span.Add("gate_evals", segEvals)
+		span.Add("gate_evals_saved", segSaved)
+		r.finishSegment(span, opts, survivors, end, total)
+	}
+	return r.finish(span, applied)
+}

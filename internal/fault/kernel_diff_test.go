@@ -1,0 +1,132 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// randCircuit builds a random sequential netlist: nIn primary inputs,
+// nDFF flip-flops (D pins resolved to random nets at the end, so state
+// feedback crosses the whole circuit), nGate random combinational gates
+// over random fan-in, and nOut primary outputs over random nets. The
+// returned netlist exercises every compiled-kernel code path: variadic
+// chains, MUXes, DFF-Q fault sites, PI fault sites, and reconvergence.
+func randCircuit(t *testing.T, rng *rand.Rand, fb bool) *logic.Netlist {
+	t.Helper()
+	b := logic.NewBuilder()
+	nIn := 2 + rng.Intn(5)
+	nDFF := 1 + rng.Intn(4)
+	nGate := 5 + rng.Intn(40)
+	nOut := 1 + rng.Intn(3)
+
+	var nets []logic.NetID
+	for i := 0; i < nIn; i++ {
+		nets = append(nets, b.Input(string(rune('a'+i))))
+	}
+	type pendingDFF struct{ d, q logic.NetID }
+	var dffs []pendingDFF
+	for i := 0; i < nDFF; i++ {
+		d := b.DeferredBuf()
+		q := b.DFF(d, "")
+		dffs = append(dffs, pendingDFF{d, q})
+		nets = append(nets, q)
+	}
+	pick := func() logic.NetID { return nets[rng.Intn(len(nets))] }
+	for i := 0; i < nGate; i++ {
+		var id logic.NetID
+		switch rng.Intn(9) {
+		case 0:
+			id = b.Not(pick())
+		case 1:
+			id = b.Mux2(pick(), pick(), pick())
+		case 2:
+			id = b.Xor(pick(), pick())
+		case 3:
+			id = b.Xnor(pick(), pick())
+		default:
+			in := make([]logic.NetID, 2+rng.Intn(3))
+			for k := range in {
+				in[k] = pick()
+			}
+			switch rng.Intn(4) {
+			case 0:
+				id = b.And(in...)
+			case 1:
+				id = b.Or(in...)
+			case 2:
+				id = b.Nand(in...)
+			default:
+				id = b.Nor(in...)
+			}
+		}
+		nets = append(nets, id)
+	}
+	for _, p := range dffs {
+		b.ResolveBuf(p.d, pick())
+	}
+	for i := 0; i < nOut; i++ {
+		b.MarkOutput(pick(), string(rune('x'+i)))
+	}
+	n, err := b.Build(logic.BuildOptions{InsertFanoutBranches: fb})
+	if err != nil {
+		t.Fatalf("random netlist build: %v", err)
+	}
+	return n
+}
+
+// TestKernelDifferentialFuzz drives random netlists, fault lists and
+// vector sequences through both kernels and requires bit-identical
+// DetectedAt and Detections. Segment lengths are randomized so batches
+// cross drop/repack boundaries mid-divergence, and NDetect > 1 runs
+// exercise lane retirement.
+func TestKernelDifferentialFuzz(t *testing.T) {
+	iters := 60
+	if testing.Short() {
+		iters = 12
+	}
+	for seed := 0; seed < iters; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)*2654435761 + 1))
+		n := randCircuit(t, rng, seed%2 == 1)
+		faults, _ := Collapse(n, AllFaults(n))
+		nCycles := 16 + rng.Intn(200)
+		vecs := make(Vectors, nCycles)
+		for i := range vecs {
+			vecs[i] = rng.Uint64()
+		}
+		opts := SimOptions{
+			Faults:     faults,
+			SegmentLen: 4 + rng.Intn(64),
+			NDetect:    1 + rng.Intn(3),
+		}
+		if seed%5 == 0 {
+			// Default segmentation: the compiled kernel's adaptive
+			// schedule against the reference kernel's fixed frames.
+			opts.SegmentLen = 0
+		}
+		refOpts, cmpOpts := opts, opts
+		refOpts.Kernel = KernelReference
+		cmpOpts.Kernel = KernelCompiled
+		ref, err := Simulate(n, vecs, refOpts)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		cmp, err := Simulate(n, vecs, cmpOpts)
+		if err != nil {
+			t.Fatalf("seed %d: compiled: %v", seed, err)
+		}
+		for i := range faults {
+			if ref.DetectedAt[i] != cmp.DetectedAt[i] {
+				t.Fatalf("seed %d (nets=%d dffs=%d seg=%d ndet=%d): fault %d site=%d sa1=%v: DetectedAt ref=%d compiled=%d",
+					seed, n.NumNets(), len(n.DFFs()), opts.SegmentLen, opts.NDetect,
+					i, faults[i].Site, faults[i].SA1, ref.DetectedAt[i], cmp.DetectedAt[i])
+			}
+			if ref.Detections != nil && ref.Detections[i] != cmp.Detections[i] {
+				t.Fatalf("seed %d (nets=%d dffs=%d seg=%d ndet=%d): fault %d site=%d sa1=%v: Detections ref=%d compiled=%d",
+					seed, n.NumNets(), len(n.DFFs()), opts.SegmentLen, opts.NDetect,
+					i, faults[i].Site, faults[i].SA1, ref.Detections[i], cmp.Detections[i])
+			}
+		}
+	}
+}

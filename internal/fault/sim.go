@@ -3,18 +3,41 @@ package fault
 import (
 	"context"
 	"fmt"
-	"sort"
 
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
 
 // Default-registry counters for the simulator's hot loop. Handles are
-// cached once; each segment costs two atomic adds.
+// cached once; each segment costs a handful of atomic adds.
 var (
 	ctrRuns    = obs.Default().Counter("faultsim.runs")
 	ctrVectors = obs.Default().Counter("faultsim.vectors")
 	ctrDropped = obs.Default().Counter("faultsim.faults_dropped")
+	// Gate-evaluation accounting (see docs/PERFORMANCE.md): gate_evals
+	// counts evaluations actually executed; gate_evals_saved counts the
+	// evaluations a full-frame sweep per batch cycle would have executed
+	// on top of that. The reference kernel counts whole gates, the
+	// compiled kernel counts compiled instructions (variadic gates span
+	// several) — comparable to within the decomposition factor.
+	ctrGateEvals      = obs.Default().Counter("faultsim.gate_evals")
+	ctrGateEvalsSaved = obs.Default().Counter("faultsim.gate_evals_saved")
+)
+
+// Kernel selects the simulation engine backing Simulate.
+type Kernel int
+
+const (
+	// KernelCompiled (the default) runs the compiled event-driven kernel
+	// with good-machine caching: the fault-free machine is simulated
+	// once per segment into a logic.GoodTrace, and each 63-fault batch
+	// replays only its fanout-cone logic against the trace
+	// (logic.EventSim). Bit-identical to KernelReference.
+	KernelCompiled Kernel = iota
+	// KernelReference runs the original logic.WordSim full-sweep kernel:
+	// every gate, every cycle, every batch. Kept as the differential
+	// oracle and for debugging.
+	KernelReference
 )
 
 // VectorSeq supplies one primary-input assignment per clock cycle.
@@ -74,6 +97,10 @@ type SimOptions struct {
 	// with Interrupted set (no error), so callers can still report the
 	// coverage reached before a SIGINT or deadline.
 	Ctx context.Context
+	// Kernel selects the simulation engine; the zero value is the
+	// compiled event-driven kernel. Both kernels produce bit-identical
+	// Results.
+	Kernel Kernel
 }
 
 // Result reports a fault simulation run.
@@ -156,18 +183,65 @@ func (r *Result) FirstCycleReaching(k int) int {
 	if k <= 0 {
 		return 0
 	}
-	// Collect detection cycles and take the k-th smallest.
-	cycles := make([]int, 0, len(r.DetectedAt))
+	// Collect detection cycles and select the k-th smallest — O(n)
+	// expected, versus sorting the whole list per query.
+	cycles := make([]int32, 0, len(r.DetectedAt))
 	for _, c := range r.DetectedAt {
 		if c >= 0 {
-			cycles = append(cycles, int(c))
+			cycles = append(cycles, c)
 		}
 	}
 	if len(cycles) < k {
 		return -1
 	}
-	sort.Ints(cycles)
-	return cycles[k-1]
+	return int(quickselect(cycles, k-1))
+}
+
+// quickselect returns the k-th smallest (0-based) element of s,
+// partitioning in place. Hoare partition with median-of-three pivoting;
+// expected linear time.
+func quickselect(s []int32, k int) int32 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		// Median-of-three pivot, placed at s[lo].
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo-1, hi+1
+		for {
+			for {
+				i++
+				if s[i] >= pivot {
+					break
+				}
+			}
+			for {
+				j--
+				if s[j] <= pivot {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		// Hoare invariant: s[lo..j] <= pivot <= s[j+1..hi].
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+	return s[lo]
 }
 
 // RegionCoverage returns detected and total counts restricted to faults
@@ -192,12 +266,42 @@ func (r *Result) RegionCoverage(n *logic.Netlist, region string) (detected, tota
 
 // Simulate runs sequential stuck-at fault simulation of the vector
 // sequence against the netlist, starting every machine (good and faulty)
-// from the all-zero flip-flop state.
+// from the all-zero flip-flop state, on the kernel selected by
+// opts.Kernel (the compiled event-driven kernel by default; both kernels
+// produce bit-identical results).
 func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error) {
-	inputs := n.Inputs()
-	if len(inputs) > 64 {
-		return nil, fmt.Errorf("fault: %d primary inputs exceed the 64 supported", len(inputs))
+	if len(n.Inputs()) > 64 {
+		return nil, fmt.Errorf("fault: %d primary inputs exceed the 64 supported", len(n.Inputs()))
 	}
+	if opts.Kernel == KernelReference {
+		return simulateReference(n, vecs, opts), nil
+	}
+	return simulateCompiled(n, vecs, opts), nil
+}
+
+// simRun is the kernel-independent run state: the fault list, result
+// accumulators, the per-fault saved DFF state (survivor-compacted at
+// each segment boundary) and the memoized segment vector buffer.
+type simRun struct {
+	faults []Fault
+	segLen int
+	ndet   int
+	res    *Result
+	counts []int32
+
+	// states[k] is the saved DFF state at the current segment boundary
+	// of fault remaining[k], all slices carved from one flat backing
+	// allocation. Survivors are compacted to the front of the array at
+	// each boundary, so detected faults stop carrying state and late
+	// segments touch a shrinking prefix of the backing memory.
+	states [][]uint64
+	// remaining holds indices into faults still undetected.
+	remaining []int
+
+	segVecs []uint64
+}
+
+func newSimRun(n *logic.Netlist, vecs VectorSeq, opts SimOptions, stateWords int) *simRun {
 	faults := opts.Faults
 	if faults == nil {
 		faults, _ = Collapse(n, AllFaults(n))
@@ -206,9 +310,6 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 	if segLen <= 0 {
 		segLen = 1024
 	}
-	w := logic.NewWordSim(n)
-	stateWords := w.StateWords()
-
 	ndet := opts.NDetect
 	if ndet < 1 {
 		ndet = 1
@@ -225,59 +326,121 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 	if opts.NDetect > 1 {
 		res.Detections = counts
 	}
-
-	// states[k] is the saved DFF state at the current segment boundary
-	// of fault remaining[k], all slices carved from one flat backing
-	// allocation. Survivors are compacted to the front of the array at
-	// each boundary, so detected faults stop carrying state and late
-	// segments touch a shrinking prefix of the backing memory.
 	backing := make([]uint64, len(faults)*stateWords)
 	states := make([][]uint64, len(faults))
 	for i := range states {
 		states[i] = backing[i*stateWords : (i+1)*stateWords : (i+1)*stateWords]
 	}
-	goodState := make([]uint64, stateWords)
-	nextGoodState := make([]uint64, stateWords)
-
-	// remaining holds indices into faults still undetected.
 	remaining := make([]int, len(faults))
 	for i := range remaining {
 		remaining[i] = i
 	}
+	return &simRun{
+		faults:    faults,
+		segLen:    segLen,
+		ndet:      ndet,
+		res:       res,
+		counts:    counts,
+		states:    states,
+		remaining: remaining,
+		segVecs:   make([]uint64, 0, segLen),
+	}
+}
+
+// expandSegment memoizes the vectors of segment [start, end) so
+// VectorSeq.At (and any user FuncSeq.Fn) runs once per cycle per
+// segment rather than once per 63-fault batch replay.
+func (r *simRun) expandSegment(vecs VectorSeq, start, end int) []uint64 {
+	r.segVecs = r.segVecs[:0]
+	for c := start; c < end; c++ {
+		r.segVecs = append(r.segVecs, vecs.At(c))
+	}
+	return r.segVecs
+}
+
+// finishSegment applies the common per-segment bookkeeping and
+// telemetry after the survivors of segment [start, end) are known.
+func (r *simRun) finishSegment(span *obs.Span, opts SimOptions, survivors []int, end, total int) {
+	dropped := len(r.remaining) - len(survivors)
+	r.remaining = survivors
+	ctrVectors.Add(int64(len(r.segVecs)))
+	ctrDropped.Add(int64(dropped))
+	span.Add("vectors", int64(len(r.segVecs)))
+	span.Add("faults_dropped", int64(dropped))
+	if opts.Progress != nil {
+		opts.Progress(end, len(r.faults)-len(r.remaining), len(r.remaining))
+	}
+	span.Event(obs.EventSegment, map[string]any{
+		"done":      end,
+		"total":     total,
+		"detected":  len(r.faults) - len(r.remaining),
+		"remaining": len(r.remaining),
+		"coverage":  safeRatio(len(r.faults)-len(r.remaining), len(r.faults)),
+	})
+}
+
+// finish emits the run summary and returns the result.
+func (r *simRun) finish(span *obs.Span, applied int) *Result {
+	if r.res.Interrupted {
+		r.res.Cycles = applied
+	}
+	span.Event(obs.EventSummary, map[string]any{
+		"cycles":      r.res.Cycles,
+		"faults":      len(r.faults),
+		"detected":    r.res.Detected(),
+		"coverage":    r.res.Coverage(),
+		"interrupted": r.res.Interrupted,
+	})
+	span.End()
+	return r.res
+}
+
+// simulateReference is the original full-sweep WordSim kernel, kept as
+// the differential oracle for the compiled kernel (see kernel.go).
+func simulateReference(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result {
+	inputs := n.Inputs()
+	w := logic.NewWordSim(n)
+	r := newSimRun(n, vecs, opts, w.StateWords())
+	goodState := make([]uint64, w.StateWords())
+	nextGoodState := make([]uint64, w.StateWords())
+	gatesPerSettle := int64(len(n.CombOrder()))
 
 	ctrRuns.Add(1)
 	span := obs.NewSpan(opts.Sink, "faultsim")
 	total := vecs.Len()
 	applied := 0
-	for start := 0; start < total && len(remaining) > 0; start += segLen {
+	for start := 0; start < total && len(r.remaining) > 0; start += r.segLen {
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
-			res.Interrupted = true
+			r.res.Interrupted = true
 			break
 		}
-		end := start + segLen
+		end := start + r.segLen
 		if end > total {
 			end = total
 		}
+		segVecs := r.expandSegment(vecs, start, end)
 		goodSaved := false
+		var segEvals int64
 		var survivors []int
-		for batchStart := 0; batchStart < len(remaining); batchStart += 63 {
-			batch := remaining[batchStart:min(batchStart+63, len(remaining))]
+		for batchStart := 0; batchStart < len(r.remaining); batchStart += 63 {
+			batch := r.remaining[batchStart:min(batchStart+63, len(r.remaining))]
 			w.Reset()
 			w.SetLaneState(0, goodState)
 			for li, fi := range batch {
 				lane := uint(li + 1)
-				w.SetLaneState(lane, states[batchStart+li])
-				w.Inject(faults[fi].Site, faults[fi].SA1, lane)
+				w.SetLaneState(lane, r.states[batchStart+li])
+				w.Inject(r.faults[fi].Site, r.faults[fi].SA1, lane)
 			}
 			w.ApplyInjectionsToValues()
 			var doneMask uint64
 			liveMask := uint64(1)<<uint(len(batch)+1) - 2 // lanes 1..len
-			for cycle := start; cycle < end; cycle++ {
-				vec := vecs.At(cycle)
+			for rc, vec := range segVecs {
+				cycle := start + rc
 				for bi, in := range inputs {
 					w.SetInput(in, vec>>uint(bi)&1 == 1)
 				}
 				w.Settle()
+				segEvals += gatesPerSettle
 				diff := w.OutputDiff() & liveMask &^ doneMask
 				if diff != 0 {
 					for li := range batch {
@@ -285,11 +448,11 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 							continue
 						}
 						fi := batch[li]
-						counts[fi]++
-						if res.DetectedAt[fi] < 0 {
-							res.DetectedAt[fi] = int32(cycle)
+						r.counts[fi]++
+						if r.res.DetectedAt[fi] < 0 {
+							r.res.DetectedAt[fi] = int32(cycle)
 						}
-						if counts[fi] >= int32(ndet) {
+						if r.counts[fi] >= int32(r.ndet) {
 							doneMask |= 1 << uint(li+1)
 						}
 					}
@@ -305,53 +468,24 @@ func Simulate(n *logic.Netlist, vecs VectorSeq, opts SimOptions) (*Result, error
 				goodSaved = true
 			}
 			for li, fi := range batch {
-				if counts[fi] >= int32(ndet) {
+				if r.counts[fi] >= int32(r.ndet) {
 					continue
 				}
 				// Compact: survivor k's state lands in slot k, which is
 				// at or before this lane's old slot batchStart+li, so no
 				// live state is overwritten.
-				w.LaneState(uint(li+1), states[len(survivors)])
+				w.LaneState(uint(li+1), r.states[len(survivors)])
 				survivors = append(survivors, fi)
 			}
 		}
-		if len(remaining) == 0 {
-			// No batches ran; still need the good state advanced. This
-			// cannot happen inside the loop guard, but keep the invariant
-			// explicit for future edits.
-			panic("unreachable")
-		}
 		goodState, nextGoodState = nextGoodState, goodState
-		dropped := len(remaining) - len(survivors)
-		remaining = survivors
 		applied = end
-		ctrVectors.Add(int64(end - start))
-		ctrDropped.Add(int64(dropped))
-		span.Add("vectors", int64(end-start))
-		span.Add("faults_dropped", int64(dropped))
-		if opts.Progress != nil {
-			opts.Progress(end, len(faults)-len(remaining), len(remaining))
-		}
-		span.Event(obs.EventSegment, map[string]any{
-			"done":      end,
-			"total":     total,
-			"detected":  len(faults) - len(remaining),
-			"remaining": len(remaining),
-			"coverage":  safeRatio(len(faults)-len(remaining), len(faults)),
-		})
+		ctrGateEvals.Add(segEvals)
+		span.Add("gate_evals", segEvals)
+		span.Add("gate_evals_saved", 0)
+		r.finishSegment(span, opts, survivors, end, total)
 	}
-	if res.Interrupted {
-		res.Cycles = applied
-	}
-	span.Event(obs.EventSummary, map[string]any{
-		"cycles":      res.Cycles,
-		"faults":      len(faults),
-		"detected":    res.Detected(),
-		"coverage":    res.Coverage(),
-		"interrupted": res.Interrupted,
-	})
-	span.End()
-	return res, nil
+	return r.finish(span, applied)
 }
 
 func safeRatio(num, den int) float64 {

@@ -105,7 +105,10 @@ func SimulateTransitions(n *logic.Netlist, vecs VectorSeq, faults []TransitionFa
 		faults = AllTransitionFaults(n)
 	}
 	const segLen = 1024
-	w := logic.NewWordSim(n)
+	// The two-pass settle injects and clears forcings dynamically, so the
+	// event-driven kernel does not apply here, but the compiled full-sweep
+	// simulator is a drop-in for WordSim.
+	w := logic.NewCompiledSim(logic.CompiledFor(n))
 	stateWords := w.StateWords()
 	inputs := n.Inputs()
 
@@ -132,10 +135,16 @@ func SimulateTransitions(n *logic.Netlist, vecs VectorSeq, faults []TransitionFa
 
 	total := vecs.Len()
 	first := true
+	segVecs := make([]uint64, 0, segLen)
 	for start := 0; start < total && len(remaining) > 0; start += segLen {
 		end := start + segLen
 		if end > total {
 			end = total
+		}
+		// Memoize the segment's vectors once for all batch replays.
+		segVecs = segVecs[:0]
+		for c := start; c < end; c++ {
+			segVecs = append(segVecs, vecs.At(c))
 		}
 		goodSaved := false
 		var survivors []int
@@ -154,8 +163,8 @@ func SimulateTransitions(n *logic.Netlist, vecs VectorSeq, faults []TransitionFa
 
 			var detectedMask uint64
 			liveMask := uint64(1)<<uint(len(batch)+1) - 2
-			for cycle := start; cycle < end; cycle++ {
-				vec := vecs.At(cycle)
+			for rc, vec := range segVecs {
+				cycle := start + rc
 				for bi, in := range inputs {
 					w.SetInput(in, vec>>uint(bi)&1 == 1)
 				}

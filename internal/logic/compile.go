@@ -1,0 +1,335 @@
+package logic
+
+import "sync"
+
+// compile.go flattens a levelized Netlist into a compact evaluation
+// program so simulation kernels can run without chasing Gate structs or
+// variable-length In slices. The program is a struct-of-arrays
+// instruction stream: one opcode byte plus up to three inline operand
+// indices per instruction. Variadic gates (AND/OR/XOR and their
+// inverted forms over 3+ inputs) are decomposed into chains of binary
+// instructions writing to temporary value slots past the real nets, so
+// every instruction in the inner loop is a fixed-shape binary or
+// ternary word operation.
+//
+// The compiled form also carries the levelized metadata the
+// event-driven kernel needs: per-net combinational levels, the
+// instruction range implementing each net, a CSR-flattened fanout
+// table, and dense lookup tables from nets to DFF/output ordinals.
+
+// opcode is one compiled gate operation. The inverted forms exist so a
+// decomposed NAND/NOR/XNOR chain applies its inversion in the final
+// instruction — the one that drives the real net and takes the
+// injection masks.
+type opcode uint8
+
+const (
+	opBuf opcode = iota
+	opNot
+	opAnd2
+	opOr2
+	opNand2
+	opNor2
+	opXor2
+	opXnor2
+	opMux
+)
+
+// Compiled is the immutable evaluation program for one Netlist.
+type Compiled struct {
+	n *Netlist
+
+	// Instruction stream (SoA). dst values >= numNets address temporary
+	// slots used by decomposed variadic chains; temporaries carry no
+	// injection masks and no fanout.
+	code []opcode
+	dst  []int32
+	a0   []int32
+	a1   []int32
+	a2   []int32
+
+	numNets int // real nets (== n.NumNets())
+	slots   int // numNets + temporaries
+
+	// pcStart/pcEnd delimit the instruction chain evaluating each
+	// combinational net (zero-length for inputs, constants and DFFs).
+	// Chains are contiguous and emitted in topological order, so
+	// executing pcs 0..len(code) is a full frame sweep.
+	pcStart []int32
+	pcEnd   []int32
+
+	// level is the combinational depth per net: frame sources (inputs,
+	// constants, DFF Q nets) are level 0, every combinational net is
+	// 1 + max(input levels). Readers always sit at a strictly higher
+	// level than the nets they read, which is what lets the event
+	// kernel process dirty nets level by level.
+	level    []int32
+	maxLevel int32
+
+	// orderPos is each combinational net's chain position in emission
+	// order (-1 for non-combinational nets); sorting a net subset by
+	// orderPos yields a valid evaluation order.
+	orderPos []int32
+
+	// CSR fanout over real nets: readers of net i are
+	// foList[foOff[i]:foOff[i+1]].
+	foOff  []int32
+	foList []NetID
+
+	// CSR fanout restricted to combinational readers, by chain position
+	// instead of net id: the positions (orderPos values) of net i's
+	// combinational readers are foPosList[foPosOff[i]:foPosOff[i+1]].
+	// This is the event kernel's scheduling table — marking a reader is
+	// one OR into a position-indexed bitmap, with no gate-kind or
+	// membership test, and scanning the bitmap in word order visits
+	// gates in topological order.
+	foPosOff  []int32
+	foPosList []int32
+
+	// dffIndex / outIndex map a net to its ordinal in Netlist.DFFs /
+	// Netlist.Outputs, or -1.
+	dffIndex []int32
+	outIndex []int32
+
+	// dPin marks nets feeding a flip-flop D input. The event kernel's
+	// sweep program must materialize these (the clock edge reads them by
+	// net id), so its buffer copy-propagation keeps them.
+	dPin []bool
+}
+
+// Compile builds the evaluation program for n. The result is immutable
+// and safe for concurrent use by any number of simulators.
+func Compile(n *Netlist) *Compiled {
+	numNets := n.NumNets()
+	c := &Compiled{
+		n:        n,
+		numNets:  numNets,
+		slots:    numNets,
+		pcStart:  make([]int32, numNets),
+		pcEnd:    make([]int32, numNets),
+		level:    make([]int32, numNets),
+		orderPos: make([]int32, numNets),
+		dffIndex: make([]int32, numNets),
+		outIndex: make([]int32, numNets),
+	}
+	for i := range c.orderPos {
+		c.orderPos[i] = -1
+		c.dffIndex[i] = -1
+		c.outIndex[i] = -1
+	}
+	c.dPin = make([]bool, numNets)
+	for i, q := range n.dffs {
+		c.dffIndex[q] = int32(i)
+		c.dPin[n.gates[q].In[0]] = true
+	}
+	for i, o := range n.outputs {
+		c.outIndex[o] = int32(i)
+	}
+
+	// Levels over the topological order.
+	for _, id := range n.order {
+		g := &n.gates[id]
+		lv := int32(0)
+		for _, in := range g.In {
+			if c.level[in]+1 > lv {
+				lv = c.level[in] + 1
+			}
+		}
+		c.level[id] = lv
+		if lv > c.maxLevel {
+			c.maxLevel = lv
+		}
+	}
+
+	// Emit instruction chains in topological order.
+	for pos, id := range n.order {
+		c.orderPos[id] = int32(pos)
+		c.pcStart[id] = int32(len(c.code))
+		c.emitNet(id)
+		c.pcEnd[id] = int32(len(c.code))
+	}
+
+	// CSR fanout.
+	c.foOff = make([]int32, numNets+1)
+	total := 0
+	for i := 0; i < numNets; i++ {
+		c.foOff[i] = int32(total)
+		total += len(n.fanout[i])
+	}
+	c.foOff[numNets] = int32(total)
+	c.foList = make([]NetID, 0, total)
+	for i := 0; i < numNets; i++ {
+		c.foList = append(c.foList, n.fanout[i]...)
+	}
+
+	// Combinational-reader positions (orderPos is -1 for non-comb nets).
+	c.foPosOff = make([]int32, numNets+1)
+	for i := 0; i < numNets; i++ {
+		c.foPosOff[i] = int32(len(c.foPosList))
+		for _, r := range n.fanout[i] {
+			if p := c.orderPos[r]; p >= 0 {
+				c.foPosList = append(c.foPosList, p)
+			}
+		}
+	}
+	c.foPosOff[numNets] = int32(len(c.foPosList))
+	return c
+}
+
+// emitNet appends the instruction chain computing net id.
+func (c *Compiled) emitNet(id NetID) {
+	g := &c.n.gates[id]
+	switch g.Kind {
+	case GateBuf:
+		c.emit(opBuf, int32(id), int32(g.In[0]), 0, 0)
+	case GateNot:
+		c.emit(opNot, int32(id), int32(g.In[0]), 0, 0)
+	case GateMux2:
+		c.emit(opMux, int32(id), int32(g.In[0]), int32(g.In[1]), int32(g.In[2]))
+	case GateAnd, GateNand, GateOr, GateNor, GateXor, GateXnor:
+		var chain, final opcode
+		switch g.Kind {
+		case GateAnd:
+			chain, final = opAnd2, opAnd2
+		case GateNand:
+			chain, final = opAnd2, opNand2
+		case GateOr:
+			chain, final = opOr2, opOr2
+		case GateNor:
+			chain, final = opOr2, opNor2
+		case GateXor:
+			chain, final = opXor2, opXor2
+		default:
+			chain, final = opXor2, opXnor2
+		}
+		acc := int32(g.In[0])
+		for k := 1; k < len(g.In)-1; k++ {
+			tmp := int32(c.slots)
+			c.slots++
+			c.emit(chain, tmp, acc, int32(g.In[k]), 0)
+			acc = tmp
+		}
+		c.emit(final, int32(id), acc, int32(g.In[len(g.In)-1]), 0)
+	default:
+		// Inputs, constants and DFFs have no combinational program.
+	}
+}
+
+func (c *Compiled) emit(op opcode, dst, a0, a1, a2 int32) {
+	c.code = append(c.code, op)
+	c.dst = append(c.dst, dst)
+	c.a0 = append(c.a0, a0)
+	c.a1 = append(c.a1, a1)
+	c.a2 = append(c.a2, a2)
+}
+
+// compileCache memoizes Compile per Netlist so every simulator sharing a
+// circuit — the campaign engine spawns one per shard — reuses one
+// program. Netlists are immutable after Build, so identity keying is
+// sound; a rare duplicate Compile under contention is only wasted work.
+var compileCache sync.Map // *Netlist -> *Compiled
+
+// CompiledFor returns the (cached) evaluation program for n.
+func CompiledFor(n *Netlist) *Compiled {
+	if c, ok := compileCache.Load(n); ok {
+		return c.(*Compiled)
+	}
+	c, _ := compileCache.LoadOrStore(n, Compile(n))
+	return c.(*Compiled)
+}
+
+// Netlist returns the compiled circuit.
+func (c *Compiled) Netlist() *Netlist { return c.n }
+
+// NumInstrs returns the instruction count of one full frame sweep (the
+// gate-evaluation cost unit the fault simulator's counters report in).
+func (c *Compiled) NumInstrs() int { return len(c.code) }
+
+// NumNets returns the number of real nets (temporary slots excluded).
+func (c *Compiled) NumNets() int { return c.numNets }
+
+// MaxLevel returns the deepest combinational level.
+func (c *Compiled) MaxLevel() int { return int(c.maxLevel) }
+
+// readers returns the fanout of net id as a CSR slice.
+func (c *Compiled) readers(id NetID) []NetID {
+	return c.foList[c.foOff[id]:c.foOff[id+1]]
+}
+
+// runProgram executes instructions [ps, pe) against vals with no
+// stuck-at masking — the hot path for fault-free settles and for the
+// mask-free stretches between injected sites in the event kernel's cone
+// sweep (the masked destinations are ~63 of thousands, so hoisting the
+// two mask loads out of the inner loop is worth the split).
+func runProgram(code []opcode, dst, a0, a1, a2 []int32, vals []uint64, ps, pe int32) {
+	// Re-slice to a common constant bound so the compiler can hoist the
+	// per-index bounds checks on the instruction arrays out of the loop
+	// (the vals accesses keep theirs — the indices are data).
+	code = code[ps:pe]
+	dst = dst[ps:pe][:len(code)]
+	a0 = a0[ps:pe][:len(code)]
+	a1 = a1[ps:pe][:len(code)]
+	a2 = a2[ps:pe][:len(code)]
+	for pc := range code {
+		var v uint64
+		switch code[pc] {
+		case opBuf:
+			v = vals[a0[pc]]
+		case opNot:
+			v = ^vals[a0[pc]]
+		case opAnd2:
+			v = vals[a0[pc]] & vals[a1[pc]]
+		case opOr2:
+			v = vals[a0[pc]] | vals[a1[pc]]
+		case opNand2:
+			v = ^(vals[a0[pc]] & vals[a1[pc]])
+		case opNor2:
+			v = ^(vals[a0[pc]] | vals[a1[pc]])
+		case opXor2:
+			v = vals[a0[pc]] ^ vals[a1[pc]]
+		case opXnor2:
+			v = ^(vals[a0[pc]] ^ vals[a1[pc]])
+		case opMux:
+			sel := vals[a0[pc]]
+			v = (vals[a1[pc]] &^ sel) | (vals[a2[pc]] & sel)
+		}
+		vals[dst[pc]] = v
+	}
+}
+
+// evalInto executes instructions [ps, pe) against vals, applying the
+// per-slot stuck-at masks. It is the single evaluation core shared by
+// the full-sweep and event-driven kernels.
+func evalInto(c *Compiled, ps, pe int32, vals, sa0, sa1 []uint64) {
+	code := c.code[ps:pe]
+	dst := c.dst[ps:pe][:len(code)]
+	a0 := c.a0[ps:pe][:len(code)]
+	a1 := c.a1[ps:pe][:len(code)]
+	a2 := c.a2[ps:pe][:len(code)]
+	for pc := range code {
+		var v uint64
+		switch code[pc] {
+		case opBuf:
+			v = vals[a0[pc]]
+		case opNot:
+			v = ^vals[a0[pc]]
+		case opAnd2:
+			v = vals[a0[pc]] & vals[a1[pc]]
+		case opOr2:
+			v = vals[a0[pc]] | vals[a1[pc]]
+		case opNand2:
+			v = ^(vals[a0[pc]] & vals[a1[pc]])
+		case opNor2:
+			v = ^(vals[a0[pc]] | vals[a1[pc]])
+		case opXor2:
+			v = vals[a0[pc]] ^ vals[a1[pc]]
+		case opXnor2:
+			v = ^(vals[a0[pc]] ^ vals[a1[pc]])
+		case opMux:
+			sel := vals[a0[pc]]
+			v = (vals[a1[pc]] &^ sel) | (vals[a2[pc]] & sel)
+		}
+		d := dst[pc]
+		vals[d] = (v &^ sa0[d]) | sa1[d]
+	}
+}

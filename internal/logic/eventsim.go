@@ -1,0 +1,823 @@
+package logic
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// eventsim.go is the event-driven half of the compiled fault-simulation
+// kernel. The fault simulator runs the fault-free machine once per
+// segment (recording every net's value per cycle into a GoodTrace) and
+// then replays each 63-fault batch through an EventSim, which tracks
+// only *divergence from the good machine*: per cycle the sole sources
+// of divergence are the injected sites and flip-flops whose state
+// already diverged, so the simulator seeds those and propagates
+// XOR-difference words level by level through the batch's fanout cone.
+// A net whose recomputed value matches the good machine stops the
+// propagation (the fault effect is blocked), so each batch cycle costs
+// the size of the live fault-effect region — usually a sliver of the
+// circuit — rather than a full frame sweep. Absolute values are never
+// materialized; a gate evaluation reconstructs its operands as
+// good-trace bit ⊕ difference on demand.
+//
+// This is the classic PROOFS-style observation that makes event-driven
+// fault simulation pay off under pseudorandom vectors: almost every net
+// *toggles* every cycle (so change-driven scheduling saves nothing),
+// but almost no net *diverges* from the good machine.
+
+// GoodTrace stores the fault-free machine's per-cycle net values for
+// one segment as packed bitsets (one bit per net per cycle, snapshotted
+// after settle and before the clock edge).
+type GoodTrace struct {
+	words  int // uint64 words per cycle row
+	cycles int
+	bits   []uint64
+}
+
+// NewGoodTrace returns a trace for a circuit with numNets nets, sized
+// for up to maxCycles cycles.
+func NewGoodTrace(numNets, maxCycles int) *GoodTrace {
+	w := (numNets + 63) / 64
+	if w == 0 {
+		w = 1
+	}
+	return &GoodTrace{words: w, bits: make([]uint64, w*maxCycles)}
+}
+
+// Reset prepares the trace to record a segment of the given length,
+// growing the backing storage if needed.
+func (t *GoodTrace) Reset(cycles int) {
+	if need := cycles * t.words; need > len(t.bits) {
+		t.bits = make([]uint64, need)
+	}
+	t.cycles = cycles
+}
+
+// Cycles returns the recorded segment length.
+func (t *GoodTrace) Cycles() int { return t.cycles }
+
+// Record snapshots lane 0 of the simulator's settled frame at the given
+// segment-relative cycle.
+func (t *GoodTrace) Record(cycle int, s *CompiledSim) {
+	row := t.bits[cycle*t.words : (cycle+1)*t.words]
+	for i := range row {
+		row[i] = 0
+	}
+	for i, v := range s.vals[:s.c.numNets] {
+		row[i>>6] |= (v & 1) << (uint(i) & 63)
+	}
+}
+
+// Bit returns net id's fault-free value (0 or 1) at the cycle.
+func (t *GoodTrace) Bit(cycle int, id NetID) uint64 {
+	return t.bits[cycle*t.words+int(id)>>6] >> (uint(id) & 63) & 1
+}
+
+// Word returns net id's fault-free value broadcast across all 64 lanes.
+func (t *GoodTrace) Word(cycle int, id NetID) uint64 {
+	return -t.Bit(cycle, id)
+}
+
+// BatchFault is one stuck-at injection for an EventSim batch; the fault
+// at index i of BeginBatch's slice occupies lane i+1.
+type BatchFault struct {
+	Site NetID
+	SA1  bool
+}
+
+// DefaultSweepThreshold is the fraction of the batch cone's instruction
+// count an event-driven settle may execute before the cycle abandons
+// event scheduling and runs the cone sweep instead. The event path
+// costs several times more per instruction than the sweep (scattered
+// operand reconstruction and worklist bookkeeping versus a linear pass
+// over a compacted program), so the break-even sits well below 1.0;
+// 0.2 was measured on the gate-level DSP core (see
+// docs/PERFORMANCE.md).
+const DefaultSweepThreshold = 0.2
+
+// sweepRetryInterval is how many consecutive sweep-mode cycles run
+// before the simulator retries event scheduling. Divergence decays as
+// faults are detected and retired, so a batch that went dense (sweep
+// mode) usually becomes sparse again; the periodic retry converts back
+// within a bounded number of cycles while capping the cost of failed
+// retries (an abandoned event pass costs at most Threshold of a sweep's
+// instructions, paid once per interval).
+const sweepRetryInterval = 8
+
+// EventSim replays one fault batch per segment against a GoodTrace.
+// Usage per batch: BeginBatch, then per cycle Cycle followed by Clock,
+// then LaneStateInto per surviving lane and EndBatch.
+type EventSim struct {
+	c *Compiled
+
+	// Per-net injection masks (real nets only; the final instruction of
+	// a chain is the only masked one).
+	sa0      []uint64
+	sa1      []uint64
+	injected []NetID
+
+	// diff[net] is the XOR divergence from the good machine, valid only
+	// while divStamp[net] == cyc (stamps make per-cycle reset O(1)).
+	diff     []uint64
+	divStamp []uint64
+	cyc      uint64
+
+	// tmpAbs holds absolute values for the temporary slots of the chain
+	// currently being evaluated (indices >= numNets only).
+	tmpAbs []uint64
+
+	// Batch membership is epoch-stamped so teardown is O(1).
+	epoch     uint32
+	rEpoch    []uint32 // net reachable from an injected site
+	combEpoch []uint32 // reachable and combinational (eligible for queueing)
+
+	// bm is the event scheduler: one bit per chain position
+	// (Compiled.orderPos), set when the gate at that position must be
+	// re-evaluated this cycle. Word-order scanning visits gates in
+	// topological order, marking a reader is a single OR (idempotent, so
+	// no dedup state), and a settled cycle leaves the bitmap zero.
+	bm []uint64
+
+	trace *GoodTrace
+	row   []uint64 // trace row of the cycle being settled
+	rAll  []NetID  // every reachable net (BFS order)
+	rWork []NetID  // reachable combinational nets, topological order
+	rDFF  []int32  // ordinals into Netlist.DFFs of reachable flip-flops
+	qDiff []uint64 // per-rDFF state divergence from the good machine
+	rOut  []int32  // ordinals into Netlist.Outputs of reachable outputs
+	sites []NetID
+	// laneSite[i] is lane i+1's injection site, for RetireLane.
+	laneSite []NetID
+	// Lane retirement bookkeeping: retired is the lane bitmask, and when
+	// liveCount falls to shrinkAt the cone is rebuilt from the live
+	// sites at the next Cycle (pendingShrink defers the rebuild so it
+	// never lands between a Cycle and its Clock).
+	retired       uint64
+	liveCount     int
+	shrinkAt      int
+	pendingShrink bool
+
+	// Sweep mode: a compacted copy of the cone's instruction chains in
+	// topological order, evaluated over absolute values (swVals) at
+	// full-sweep speed when divergence is too dense for event scheduling
+	// to pay. bound lists the sweep's read-only frontier — nets read by
+	// cone instructions (or cone flip-flop D pins) but computed outside
+	// the cone — reseeded from the good trace each sweep cycle; bEpoch
+	// dedups it. swMaskPC holds the positions of injected sites' final
+	// instructions, so the stretches between them run mask-free. swept
+	// records which mode settled the current cycle (so Clock reads the
+	// matching state); sweepNext and sweepStreak drive the adaptive mode
+	// switch.
+	swCode      []opcode
+	swDst       []int32
+	swA0        []int32
+	swA1        []int32
+	swA2        []int32
+	swMaskPC    []int32
+	swVals      []uint64
+	bound       []NetID
+	bEpoch      []uint32
+	swept       bool
+	sweepNext   bool
+	sweepStreak int
+
+	// Buffer copy-propagation: mask-free single-buffer chains (fanout
+	// branches, output aliases) are elided from the sweep program and
+	// every later operand referencing them is rewritten to their source
+	// (aliasTo, valid while aliasEpoch matches the batch epoch). On the
+	// fanout-branched DSP core buffers are about two thirds of the
+	// compiled program, so this more than halves the dense-cycle cost.
+	aliasTo    []int32
+	aliasEpoch []uint32
+
+	// Threshold is the event-pass abandonment fraction of the cone's
+	// instruction count (see DefaultSweepThreshold); budget is its
+	// instruction-count form, recomputed per batch.
+	Threshold float64
+	budget    int
+
+	evals      int64
+	evalsSaved int64
+}
+
+// NewEventSim returns an EventSim for the compiled circuit.
+func NewEventSim(c *Compiled) *EventSim {
+	return &EventSim{
+		c: c,
+		// Masks are slot-sized (temporaries are never injected and stay
+		// zero) so the sweep can apply them by instruction destination.
+		sa0:       make([]uint64, c.slots),
+		sa1:       make([]uint64, c.slots),
+		diff:      make([]uint64, c.numNets),
+		divStamp:  make([]uint64, c.numNets),
+		tmpAbs:    make([]uint64, c.slots),
+		rEpoch:    make([]uint32, c.numNets),
+		combEpoch: make([]uint32, c.numNets),
+		bm:        make([]uint64, (len(c.n.order)+63)/64),
+		swVals:     make([]uint64, c.slots),
+		bEpoch:     make([]uint32, c.numNets),
+		aliasTo:    make([]int32, c.numNets),
+		aliasEpoch: make([]uint32, c.numNets),
+		Threshold: DefaultSweepThreshold,
+	}
+}
+
+// BeginBatch installs a fault batch: injection masks, the reachable
+// cone (transitive fanout of the sites, closed through DFF D→Q edges),
+// and each lane's initial flip-flop divergence from laneStates (packed
+// per Netlist.DFFs order; nil means the lane starts at the fault-free
+// state). The trace must already hold the segment's fault-free run.
+func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates [][]uint64) {
+	if len(faults) > 63 {
+		panic(fmt.Sprintf("logic: EventSim batch of %d faults exceeds 63 lanes", len(faults)))
+	}
+	c, n := e.c, e.c.n
+	e.trace = trace
+	e.epoch++
+	e.rAll = e.rAll[:0]
+	e.rWork = e.rWork[:0]
+	e.rDFF = e.rDFF[:0]
+	e.rOut = e.rOut[:0]
+	e.sites = e.sites[:0]
+	e.laneSite = e.laneSite[:0]
+
+	// Injection masks; lane i+1 carries faults[i].
+	for i, f := range faults {
+		e.laneSite = append(e.laneSite, f.Site)
+		lane := uint(i + 1)
+		if e.sa0[f.Site] == 0 && e.sa1[f.Site] == 0 {
+			e.injected = append(e.injected, f.Site)
+		}
+		if f.SA1 {
+			e.sa1[f.Site] |= 1 << lane
+		} else {
+			e.sa0[f.Site] |= 1 << lane
+		}
+		if e.rEpoch[f.Site] != e.epoch {
+			e.rEpoch[f.Site] = e.epoch
+			e.rAll = append(e.rAll, f.Site)
+			e.sites = append(e.sites, f.Site)
+		}
+	}
+
+	// Reachable closure over the fanout relation. Netlist fanout lists
+	// a DFF's Q net as a reader of its D net, so the BFS crosses clock
+	// edges and the cone bounds every cycle's possible divergence.
+	for qi := 0; qi < len(e.rAll); qi++ {
+		for _, r := range c.readers(e.rAll[qi]) {
+			if e.rEpoch[r] != e.epoch {
+				e.rEpoch[r] = e.epoch
+				e.rAll = append(e.rAll, r)
+			}
+		}
+	}
+
+	// Partition the cone.
+	for _, id := range e.rAll {
+		switch n.gates[id].Kind {
+		case GateInput, GateConst0, GateConst1:
+		case GateDFF:
+			e.rDFF = append(e.rDFF, c.dffIndex[id])
+		default:
+			e.combEpoch[id] = e.epoch
+			e.rWork = append(e.rWork, id)
+		}
+		if c.outIndex[id] >= 0 {
+			e.rOut = append(e.rOut, c.outIndex[id])
+		}
+	}
+	sortByOrderPos(e.rWork, c.orderPos)
+	if cap(e.qDiff) < len(e.rDFF) {
+		e.qDiff = make([]uint64, len(e.rDFF))
+	}
+	e.qDiff = e.qDiff[:len(e.rDFF)]
+	e.buildSweep()
+	e.budget = int(e.Threshold * float64(len(e.swCode)))
+	if e.budget < 16 {
+		e.budget = 16
+	}
+	e.swept = false
+	e.sweepNext = false
+	e.sweepStreak = 0
+	e.retired = 0
+	e.liveCount = len(faults)
+	e.shrinkAt = len(faults) / 2
+	e.pendingShrink = false
+
+	// Initial flip-flop divergence: each lane's saved state overlaid on
+	// the fault-free segment-start state (the trace's cycle-0 Q values),
+	// masked for Q-site faults — the analogue of SetLaneState +
+	// ApplyInjectionsToValues on the reference simulator.
+	for k, di := range e.rDFF {
+		q := n.dffs[di]
+		good := trace.Word(0, q)
+		w := good
+		for li, st := range laneStates {
+			if st == nil {
+				continue
+			}
+			bit := uint64(1) << uint(li+1)
+			if st[di>>6]>>(uint(di)&63)&1 == 1 {
+				w |= bit
+			} else {
+				w &^= bit
+			}
+		}
+		w = (w &^ e.sa0[q]) | e.sa1[q]
+		e.qDiff[k] = (w ^ good) &^ 1
+	}
+}
+
+// buildSweep compacts the cone's instruction chains (rWork is already
+// in topological order) into the sweep program and collects its read
+// frontier: every real-net operand that no cone instruction computes
+// and no cone flip-flop seeds, plus the D nets the sweep-mode Clock
+// reads. Temporary slots are always written by their own chain before
+// use, so only real nets can be frontier.
+//
+// Mask-free buffer chains are copy-propagated away instead of emitted:
+// on a fanout-branched netlist most "gates" are branch buffers whose
+// sweep evaluation is a plain copy, so eliding them and rewriting later
+// operands to read the source directly shrinks the program that runs
+// every dense cycle. A buffer survives only if something outside the
+// program reads its slot by net id: an injection mask applies to it, it
+// is a primary output (the detection scan compares swVals[out]), or it
+// feeds a flip-flop D pin (the sweep-mode Clock reads swVals[d]). The
+// event path is untouched — it evaluates the full compiled program,
+// where the buffers still exist.
+func (e *EventSim) buildSweep() {
+	c := e.c
+	e.swCode = e.swCode[:0]
+	e.swDst = e.swDst[:0]
+	e.swA0 = e.swA0[:0]
+	e.swA1 = e.swA1[:0]
+	e.swA2 = e.swA2[:0]
+	e.swMaskPC = e.swMaskPC[:0]
+	e.bound = e.bound[:0]
+	resolve := func(op int32) int32 {
+		if int(op) < c.numNets && e.aliasEpoch[op] == e.epoch {
+			return e.aliasTo[op]
+		}
+		return op
+	}
+	for _, id := range e.rWork {
+		ps, pe := c.pcStart[id], c.pcEnd[id]
+		masked := e.sa0[id]|e.sa1[id] != 0
+		if !masked && pe-ps == 1 && c.code[ps] == opBuf &&
+			c.outIndex[id] < 0 && !c.dPin[id] {
+			// rWork is topological, so the source's own alias (if any)
+			// is already final — chains of buffers flatten one hop at a
+			// time and every emitted operand resolves in one lookup.
+			e.aliasTo[id] = resolve(c.a0[ps])
+			e.aliasEpoch[id] = e.epoch
+			continue
+		}
+		if masked {
+			// The chain's final instruction (the one driving the real
+			// net) must apply this site's masks; everything between two
+			// such positions runs mask-free.
+			e.swMaskPC = append(e.swMaskPC, int32(len(e.swCode))+pe-ps-1)
+		}
+		for pc := ps; pc < pe; pc++ {
+			a0, a1, a2 := resolve(c.a0[pc]), c.a1[pc], c.a2[pc]
+			e.noteFrontier(a0)
+			switch c.code[pc] {
+			case opBuf, opNot:
+			case opMux:
+				a1, a2 = resolve(a1), resolve(a2)
+				e.noteFrontier(a1)
+				e.noteFrontier(a2)
+			default:
+				a1 = resolve(a1)
+				e.noteFrontier(a1)
+			}
+			e.swCode = append(e.swCode, c.code[pc])
+			e.swDst = append(e.swDst, c.dst[pc])
+			e.swA0 = append(e.swA0, a0)
+			e.swA1 = append(e.swA1, a1)
+			e.swA2 = append(e.swA2, a2)
+		}
+	}
+	for _, di := range e.rDFF {
+		e.noteFrontier(int32(c.n.gates[c.n.dffs[di]].In[0]))
+	}
+}
+
+// noteFrontier adds a sweep-program operand to the read frontier unless
+// the sweep computes it (in-cone combinational net), seeds it (in-cone
+// flip-flop Q), or it is a chain temporary.
+func (e *EventSim) noteFrontier(op int32) {
+	if int(op) >= e.c.numNets {
+		return
+	}
+	if e.combEpoch[op] == e.epoch || e.bEpoch[op] == e.epoch {
+		return
+	}
+	if e.c.dffIndex[op] >= 0 && e.rEpoch[op] == e.epoch {
+		return
+	}
+	e.bEpoch[op] = e.epoch
+	e.bound = append(e.bound, NetID(op))
+}
+
+// markFan schedules every combinational reader of net id for
+// evaluation in the current cycle's settle. No membership or dedup test
+// is needed: divergence is confined to the batch cone (readers of a
+// cone net are in the cone by closure), and the bitmap OR is
+// idempotent.
+func (e *EventSim) markFan(id NetID) {
+	c := e.c
+	for _, p := range c.foPosList[c.foPosOff[id]:c.foPosOff[id+1]] {
+		e.bm[p>>6] |= 1 << (uint(p) & 63)
+	}
+}
+
+// operand reconstructs the absolute 64-lane word of one instruction
+// operand at the cycle being settled: good-trace value (from the
+// hoisted row) XOR current divergence for real nets, the chain-local
+// scratch for temporaries. The divergence merge is branchless — the
+// stamp comparison becomes an all-ones/zero mask — because the branch
+// is data-dependent and mispredicts heavily in half-diverged regions.
+func (e *EventSim) operand(idx int32) uint64 {
+	if int(idx) >= e.c.numNets {
+		return e.tmpAbs[idx]
+	}
+	v := -(e.row[idx>>6] >> (uint(idx) & 63) & 1)
+	x := e.divStamp[idx] ^ e.cyc
+	live := ((x | -x) >> 63) - 1 // all-ones iff divStamp == cyc
+	return v ^ (e.diff[idx] & live)
+}
+
+// evalNet executes net id's instruction chain against reconstructed
+// absolute operands and returns the net's absolute word with its
+// injection masks applied.
+func (e *EventSim) evalNet(id NetID) uint64 {
+	c := e.c
+	code, dst, a0, a1, a2 := c.code, c.dst, c.a0, c.a1, c.a2
+	var v uint64
+	for pc := c.pcStart[id]; pc < c.pcEnd[id]; pc++ {
+		switch code[pc] {
+		case opBuf:
+			v = e.operand(a0[pc])
+		case opNot:
+			v = ^e.operand(a0[pc])
+		case opAnd2:
+			v = e.operand(a0[pc]) & e.operand(a1[pc])
+		case opOr2:
+			v = e.operand(a0[pc]) | e.operand(a1[pc])
+		case opNand2:
+			v = ^(e.operand(a0[pc]) & e.operand(a1[pc]))
+		case opNor2:
+			v = ^(e.operand(a0[pc]) | e.operand(a1[pc]))
+		case opXor2:
+			v = e.operand(a0[pc]) ^ e.operand(a1[pc])
+		case opXnor2:
+			v = ^(e.operand(a0[pc]) ^ e.operand(a1[pc]))
+		case opMux:
+			sel := e.operand(a0[pc])
+			v = (e.operand(a1[pc]) &^ sel) | (e.operand(a2[pc]) & sel)
+		}
+		if d := dst[pc]; int(d) >= c.numNets {
+			e.tmpAbs[d] = v
+		}
+	}
+	return (v &^ e.sa0[id]) | e.sa1[id]
+}
+
+// goodWord broadcasts net id's fault-free value from the hoisted row.
+func (e *EventSim) goodWord(id NetID) uint64 {
+	return -(e.row[id>>6] >> (uint(id) & 63) & 1)
+}
+
+// Cycle settles segment-relative cycle rc and returns the OR-ed
+// per-output lane-difference mask against the fault-free machine (bit 0
+// always clear). Primary-input values come from the good trace — the
+// good machine saw the same vectors — so no vector is needed; only the
+// divergence sources (injected sites, diverged flip-flops) and their
+// live fanout are evaluated. When divergence is dense the cycle runs
+// the compacted cone sweep instead (see sweepCycle); the two modes
+// interoperate freely because the only cross-cycle state is qDiff.
+// Call Clock afterwards to advance state.
+func (e *EventSim) Cycle(rc int) uint64 {
+	c, n := e.c, e.c.n
+	e.cyc++
+	e.row = e.trace.bits[rc*e.trace.words : (rc+1)*e.trace.words]
+	if e.pendingShrink {
+		e.shrinkCone()
+	}
+
+	if e.sweepNext && e.sweepStreak < sweepRetryInterval {
+		e.sweepStreak++
+		e.swept = true
+		det := e.sweepCycle()
+		e.evals += int64(len(e.swCode))
+		e.evalsSaved += int64(len(c.code) - len(e.swCode))
+		return det
+	}
+	e.sweepStreak = 0
+	e.swept = false
+
+	// Seed divergence sources. Injected non-DFF sites: the masks force
+	// lanes away from the good value (a site that is also a scheduled
+	// cone gate re-evaluates later with the same masks, reproducing or
+	// refining this difference — never losing the forced lanes).
+	for _, id := range e.sites {
+		if n.gates[id].Kind == GateDFF {
+			continue // carried by qDiff below
+		}
+		good := e.goodWord(id)
+		d := ((good &^ e.sa0[id]) | e.sa1[id]) ^ good
+		if d != 0 {
+			e.diff[id] = d
+			e.divStamp[id] = e.cyc
+			e.markFan(id)
+		}
+	}
+	for k, di := range e.rDFF {
+		if d := e.qDiff[k]; d != 0 {
+			q := n.dffs[di]
+			e.diff[q] = d
+			e.divStamp[q] = e.cyc
+			e.markFan(q)
+		}
+	}
+
+	// Topological settle of the scheduled gates by bitmap scan. The
+	// word is drained lowest-bit-first, re-reading it every iteration:
+	// an evaluation can mark a reader at a position below other pending
+	// bits of the same word, and taking the minimum pending position
+	// keeps the scan strictly topological (a mark is always above its
+	// driver's position, so nothing ever lands behind the scan point and
+	// every gate is evaluated exactly once per cycle). Divergence that
+	// dies (recomputed value equals the good machine's) stops
+	// propagating.
+	executed := 0
+	bm := e.bm
+	order := n.order
+	for wi := 0; wi < len(bm); wi++ {
+		base := int32(wi << 6)
+		for bm[wi] != 0 {
+			b := bits.TrailingZeros64(bm[wi])
+			bm[wi] &^= 1 << uint(b)
+			id := order[base+int32(b)]
+			abs := e.evalNet(id)
+			executed += int(c.pcEnd[id] - c.pcStart[id])
+			if d := abs ^ e.goodWord(id); d != 0 {
+				e.diff[id] = d
+				e.divStamp[id] = e.cyc
+				e.markFan(id)
+			} else {
+				e.divStamp[id] = 0
+			}
+		}
+		if executed > e.budget {
+			// Too dense for event scheduling to pay: abandon the pass and
+			// settle with the sweep, which ignores the partial divStamp
+			// state (it reads only qDiff and the trace), then stay in
+			// sweep mode. The wasted event work is capped by Threshold.
+			for i := wi + 1; i < len(bm); i++ {
+				bm[i] = 0
+			}
+			e.swept = true
+			e.sweepNext = true
+			det := e.sweepCycle()
+			executed += len(e.swCode)
+			e.evals += int64(executed)
+			e.evalsSaved += int64(len(c.code) - executed)
+			return det
+		}
+	}
+	e.sweepNext = false
+	e.evals += int64(executed)
+	e.evalsSaved += int64(len(c.code) - executed)
+
+	var det uint64
+	for _, oi := range e.rOut {
+		o := n.outputs[oi]
+		if e.divStamp[o] == e.cyc {
+			det |= e.diff[o]
+		}
+	}
+	return det &^ 1
+}
+
+// sweepCycle settles the current cycle by evaluating the whole cone
+// over absolute values: seed the read frontier and the in-cone
+// flip-flop Qs from the good row (plus divergence and injection masks),
+// then run the compacted program linearly — the same cost profile as
+// the full-sweep CompiledSim, but confined to the cone. Dense cycles
+// pay ~4ns per instruction here versus ~20ns on the event path.
+func (e *EventSim) sweepCycle() uint64 {
+	n := e.c.n
+	vals := e.swVals
+	for _, b := range e.bound {
+		// Masks are zero except on injected sites (covers maskable
+		// frontier sites: primary inputs and constants).
+		vals[b] = (e.goodWord(b) &^ e.sa0[b]) | e.sa1[b]
+	}
+	for k, di := range e.rDFF {
+		q := n.dffs[di]
+		vals[q] = e.goodWord(q) ^ e.qDiff[k]
+	}
+	code, dst, a0, a1, a2 := e.swCode, e.swDst, e.swA0, e.swA1, e.swA2
+	prev := int32(0)
+	for _, mp := range e.swMaskPC {
+		runProgram(code, dst, a0, a1, a2, vals, prev, mp+1)
+		d := dst[mp]
+		vals[d] = (vals[d] &^ e.sa0[d]) | e.sa1[d]
+		prev = mp + 1
+	}
+	runProgram(code, dst, a0, a1, a2, vals, prev, int32(len(code)))
+	var det uint64
+	for _, oi := range e.rOut {
+		o := n.outputs[oi]
+		det |= vals[o] ^ e.goodWord(o)
+	}
+	return det &^ 1
+}
+
+// Clock advances every in-cone flip-flop's divergence (applying Q-site
+// injection masks). The good machine's next Q value is its current D
+// value, so the new divergence needs no lookahead. After an event-mode
+// settle a single pass is safe even for direct Q→D chains: reading a Q
+// operand consults diff/divStamp (seeded at the top of Cycle), which
+// this loop never writes. After a sweep-mode settle the D values come
+// from swVals, which the clock does not modify either. Out-of-cone
+// flip-flops cannot diverge and are left to the trace.
+func (e *EventSim) Clock(rc int) {
+	n := e.c.n
+	if e.swept {
+		for k, di := range e.rDFF {
+			q := n.dffs[di]
+			d := n.gates[q].In[0]
+			goodD := e.goodWord(d)
+			e.qDiff[k] = (((e.swVals[d] &^ e.sa0[q]) | e.sa1[q]) ^ goodD) &^ 1
+		}
+		return
+	}
+	for k, di := range e.rDFF {
+		q := n.dffs[di]
+		d := n.gates[q].In[0]
+		if e.qDiff[k] == 0 && e.divStamp[d] != e.cyc && e.sa0[q]|e.sa1[q] == 0 {
+			continue // quiescent flip-flop stays at the good value
+		}
+		goodD := e.goodWord(d)
+		absD := goodD
+		if e.divStamp[d] == e.cyc {
+			absD ^= e.diff[d]
+		}
+		e.qDiff[k] = (((absD &^ e.sa0[q]) | e.sa1[q]) ^ goodD) &^ 1
+	}
+}
+
+// RetireLane removes lane's fault from the batch: its injection mask
+// bit and any state divergence it accumulated are cleared, so its
+// divergence stops being simulated from the next cycle on. The fault
+// simulator calls this once a fault reaches its detection quota —
+// unlike the full-sweep kernels, whose cost is fixed per batch, the
+// event kernel's cost shrinks with every retired fault. Surviving lanes
+// are unaffected (lanes never interact).
+func (e *EventSim) RetireLane(lane uint) {
+	site := e.laneSite[lane-1]
+	bit := uint64(1) << lane
+	e.sa0[site] &^= bit
+	e.sa1[site] &^= bit
+	for k := range e.qDiff {
+		e.qDiff[k] &^= bit
+	}
+	if e.retired&bit == 0 {
+		e.retired |= bit
+		e.liveCount--
+		if e.liveCount <= e.shrinkAt {
+			e.pendingShrink = true
+		}
+	}
+}
+
+// shrinkCone rebuilds the cone from the still-live lanes' sites. The
+// live cone is a subset of the current one (closure is monotonic in the
+// site set), so every list is rebuilt by filtering — rWork keeps its
+// topological order without re-sorting, and rDFF compacts qDiff in
+// step. Dropped flip-flops are provably quiescent: a live lane's
+// divergence stays inside its own site's closure, and RetireLane
+// cleared the retired lanes' bits.
+func (e *EventSim) shrinkCone() {
+	c, n := e.c, e.c.n
+	e.pendingShrink = false
+	e.epoch++
+	e.rAll = e.rAll[:0]
+	e.sites = e.sites[:0]
+	for i, s := range e.laneSite {
+		if e.retired>>(uint(i)+1)&1 == 0 && e.rEpoch[s] != e.epoch {
+			e.rEpoch[s] = e.epoch
+			e.rAll = append(e.rAll, s)
+			e.sites = append(e.sites, s)
+		}
+	}
+	for qi := 0; qi < len(e.rAll); qi++ {
+		for _, r := range c.readers(e.rAll[qi]) {
+			if e.rEpoch[r] != e.epoch {
+				e.rEpoch[r] = e.epoch
+				e.rAll = append(e.rAll, r)
+			}
+		}
+	}
+	nw := 0
+	for _, id := range e.rWork {
+		if e.rEpoch[id] == e.epoch {
+			e.combEpoch[id] = e.epoch
+			e.rWork[nw] = id
+			nw++
+		}
+	}
+	e.rWork = e.rWork[:nw]
+	nd := 0
+	for k, di := range e.rDFF {
+		if e.rEpoch[n.dffs[di]] == e.epoch {
+			e.rDFF[nd] = di
+			e.qDiff[nd] = e.qDiff[k]
+			nd++
+		}
+	}
+	e.rDFF = e.rDFF[:nd]
+	e.qDiff = e.qDiff[:nd]
+	no := 0
+	for _, oi := range e.rOut {
+		if e.rEpoch[n.outputs[oi]] == e.epoch {
+			e.rOut[no] = oi
+			no++
+		}
+	}
+	e.rOut = e.rOut[:no]
+	e.buildSweep()
+	e.budget = int(e.Threshold * float64(len(e.swCode)))
+	if e.budget < 16 {
+		e.budget = 16
+	}
+	e.shrinkAt = e.liveCount / 2
+	// Divergence just dropped with the retirements, so retry event
+	// scheduling immediately rather than waiting out the sweep streak.
+	e.sweepStreak = sweepRetryInterval
+}
+
+// LaneStateInto writes one lane's packed DFF state to dst: the
+// fault-free next state nextGood with the lane's in-cone flip-flop
+// divergence bits flipped (out-of-cone flip-flops never diverge).
+func (e *EventSim) LaneStateInto(lane uint, nextGood, dst []uint64) {
+	copy(dst, nextGood)
+	for k, di := range e.rDFF {
+		if e.qDiff[k]>>lane&1 == 1 {
+			dst[di>>6] ^= 1 << (uint(di) & 63)
+		}
+	}
+}
+
+// ActiveFrac reports the batch cone's share of the combinational frame
+// (instruction-weighted), for diagnostics.
+func (e *EventSim) ActiveFrac() float64 {
+	if len(e.c.code) == 0 {
+		return 0
+	}
+	instrs := 0
+	for _, id := range e.rWork {
+		instrs += int(e.c.pcEnd[id] - e.c.pcStart[id])
+	}
+	return float64(instrs) / float64(len(e.c.code))
+}
+
+// EndBatch removes the batch's injection masks and returns and resets
+// the evaluation counters: instructions executed, and instructions
+// saved versus a full-frame sweep per cycle (negative only if fallback
+// re-evaluation overshot it).
+func (e *EventSim) EndBatch() (evals, saved int64) {
+	for _, id := range e.injected {
+		e.sa0[id] = 0
+		e.sa1[id] = 0
+	}
+	e.injected = e.injected[:0]
+	evals, saved = e.evals, e.evalsSaved
+	e.evals, e.evalsSaved = 0, 0
+	return evals, saved
+}
+
+// sortByOrderPos sorts nets by their compiled chain position with shell
+// sort (Ciura gaps) — the lists are per-batch scratch, and this avoids
+// sort.Slice's closure allocation in the batch setup path.
+func sortByOrderPos(nets []NetID, pos []int32) {
+	gaps := []int{1, 4, 10, 23, 57, 132, 301, 701, 1577}
+	for i := len(gaps) - 1; i >= 0; i-- {
+		gap := gaps[i]
+		if gap >= len(nets) {
+			continue
+		}
+		for j := gap; j < len(nets); j++ {
+			v := nets[j]
+			k := j
+			for k >= gap && pos[nets[k-gap]] > pos[v] {
+				nets[k] = nets[k-gap]
+				k -= gap
+			}
+			nets[k] = v
+		}
+	}
+}
