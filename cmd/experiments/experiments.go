@@ -62,7 +62,7 @@ func progressPrinter(rc *runContext) func(cycles, detected, remaining int) {
 // simulate runs a sharded fault simulation with the tool's -workers
 // shard count (1 = the exact serial path).
 func simulate(rc *runContext, c *dspgate.Core, vecs fault.Vectors, progress bool) *fault.Result {
-	opts := fault.SimOptions{Sink: rc.sink}
+	opts := fault.SimOptions{Sink: rc.sink, Ctx: rc.ctx}
 	if progress {
 		opts.Progress = progressPrinter(rc)
 	}
@@ -71,6 +71,10 @@ func simulate(rc *runContext, c *dspgate.Core, vecs fault.Vectors, progress bool
 	})
 	if err != nil {
 		panic(err)
+	}
+	if res.Interrupted {
+		rc.printf("    (deadline hit: %d of %d vectors applied, numbers are partial)\n",
+			res.Cycles, vecs.Len())
 	}
 	return res
 }

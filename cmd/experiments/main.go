@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -38,6 +40,10 @@ type runContext struct {
 	out     *os.File
 	sink    obs.Sink
 	workers int
+	// ctx carries the -deadline bound into every fault simulation; an
+	// expired deadline stops the current campaign at the next segment
+	// boundary and the experiment reports partial numbers.
+	ctx context.Context
 	// cur is the id of the experiment currently running; metric()
 	// records headline numbers under it for the -metrics JSON report.
 	cur     string
@@ -75,13 +81,25 @@ func main() {
 	runSel := flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
 	outPath := flag.String("out", "", "also append output to this file")
 	metricsPath := flag.String("metrics", "", "write consolidated per-experiment metrics JSON to this file")
+	deadline := flag.Duration("deadline", 0, "overall deadline for the whole run; expiring simulations stop at the next segment boundary and report partial numbers (0 = none)")
 	obsCfg := obs.Flags()
+	chaosCfg := chaos.Flags()
 	flag.Parse()
 
 	rt := obsCfg.MustStart()
 	defer rt.Close()
+	if err := chaosCfg.Arm(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
-	rc := &runContext{quick: *quick, sink: rt.Sink(), workers: obsCfg.Workers,
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+	rc := &runContext{quick: *quick, sink: rt.Sink(), workers: obsCfg.Workers, ctx: ctx,
 		metrics: map[string]map[string]any{}}
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)

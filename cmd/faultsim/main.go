@@ -21,6 +21,7 @@ import (
 	"os/signal"
 
 	"repro/internal/bist"
+	"repro/internal/chaos"
 	"repro/internal/dspgate"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -37,11 +38,16 @@ func main() {
 	curve := flag.Bool("curve", false, "print a coverage-vs-vectors curve")
 	quality := flag.Bool("quality", false, "grade all fault models (stuck-at, n-detect, transition, bridging, path delay)")
 	seed := flag.Int64("seed", 1, "LFSR seed")
+	deadline := flag.Duration("deadline", 0, "overall run deadline; the simulation stops at the next segment boundary and prints partial results (0 = none)")
 	obsCfg := obs.Flags()
+	chaosCfg := chaos.Flags()
 	flag.Parse()
 
 	rt := obsCfg.MustStart()
 	defer rt.Close()
+	if err := chaosCfg.Arm(); err != nil {
+		fail(err)
+	}
 
 	// The status line always renders; -v routes it through the runtime's
 	// renderer (alongside span/summary lines), so only add one here when
@@ -52,9 +58,15 @@ func main() {
 	}
 
 	// Ctrl-C cancels at the next segment boundary; the partial result
-	// still carries the curve and counts accumulated so far.
+	// still carries the curve and counts accumulated so far. -deadline
+	// bounds the whole run the same way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 
 	var vecs fault.Vectors
 	switch {

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -37,14 +38,22 @@ func main() {
 	addr := flag.String("addr", ":8321", "HTTP listen address")
 	queueWorkers := flag.Int("queue-workers", 2, "concurrent job executors")
 	maxPending := flag.Int("max-pending", 64, "bounded pending-job buffer")
-	maxAttempts := flag.Int("max-attempts", 2, "attempts per job before a panic fails it")
+	maxAttempts := flag.Int("max-attempts", 2, "attempts per job before a retryable failure fails it")
 	checkpoint := flag.String("checkpoint", "", "JSON state file for checkpoint/resume")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "forced-stop deadline after SIGTERM")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-time bound (0 = none; spec deadline_sec can tighten)")
+	stuckTimeout := flag.Duration("stuck-timeout", 10*time.Minute, "cancel+retry a job publishing no progress for this long (0 = off)")
+	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "HTTP request handler timeout (0 = none)")
+	maxInflight := flag.Int("max-inflight", 128, "concurrent HTTP requests before load shedding (0 = unlimited)")
 	obsCfg := obs.Flags()
+	chaosCfg := chaos.Flags()
 	flag.Parse()
 
 	rt := obsCfg.MustStart()
 	defer rt.Close()
+	if err := chaosCfg.Arm(); err != nil {
+		fail(err)
+	}
 
 	q := engine.NewQueue(engine.QueueOptions{
 		Workers:     *queueWorkers,
@@ -54,8 +63,10 @@ func main() {
 			Workers: obsCfg.Workers,
 			Sink:    rt.Sink(),
 		}),
-		Checkpoint: *checkpoint,
-		Sink:       rt.Sink(),
+		Checkpoint:   *checkpoint,
+		Sink:         rt.Sink(),
+		JobTimeout:   *jobTimeout,
+		StuckTimeout: *stuckTimeout,
 	})
 	if *checkpoint != "" {
 		switch err := q.Restore(*checkpoint); {
@@ -70,13 +81,22 @@ func main() {
 				len(q.Jobs()), resumed, *checkpoint)
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh campaign; the file appears at the first checkpoint.
+		case errors.Is(err, engine.ErrCheckpointCorrupt):
+			// Neither generation was loadable. Starting an empty campaign
+			// is the graceful option — the corrupt files stay on disk for
+			// post-mortem until the next successful checkpoint rotates
+			// them out.
+			fmt.Fprintf(os.Stderr, "sbstd: warning: %v; starting fresh\n", err)
 		default:
 			fail(err)
 		}
 	}
 	q.Start()
 
-	srv := &http.Server{Addr: *addr, Handler: engine.NewServer(q)}
+	srv := &http.Server{Addr: *addr, Handler: engine.NewServerWith(q, engine.ServerOptions{
+		RequestTimeout: *requestTimeout,
+		MaxInflight:    *maxInflight,
+	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "sbstd: listening on %s\n", *addr)

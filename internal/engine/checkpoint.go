@@ -2,14 +2,36 @@ package engine
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
 )
 
 // checkpointVersion guards the on-disk schema; bump on incompatible
 // changes so a stale file fails loudly instead of resuming garbage.
-const checkpointVersion = 1
+// Version 2 added the crc32c integrity trailer.
+const checkpointVersion = 2
+
+// crcPrefix introduces the integrity trailer: the final line of a
+// checkpoint is "#crc32c=%08x\n" over every byte before it. JSON has no
+// comment syntax, so the loader strips the trailer before parsing; the
+// '#' makes the file obviously annotated to a human reader.
+const crcPrefix = "#crc32c="
+
+// ErrCheckpointCorrupt reports a checkpoint file that exists but cannot
+// be trusted: bad checksum, torn write, unparsable JSON, or inconsistent
+// job records. Restore salvages the previous checkpoint when possible
+// and wraps this error only when no generation is loadable.
+var ErrCheckpointCorrupt = errors.New("engine: checkpoint corrupt")
+
+var ctrCheckpointSalvaged = obs.Default().Counter("queue.checkpoint_salvaged")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
 // checkpointFile is the JSON state written by Checkpoint: every job in
 // submission order plus the ID counter, enough to resume a partially
@@ -22,9 +44,88 @@ type checkpointFile struct {
 	Jobs    []Job `json:"jobs"`
 }
 
-// Checkpoint atomically writes the queue state to the configured path
-// (write to a temp file in the same directory, then rename). A queue
-// without a checkpoint path is a no-op.
+// prevPath is the previous-generation checkpoint kept as a salvage
+// target: every successful write first rotates the live file aside, so
+// a torn or corrupted write loses at most one generation.
+func prevPath(path string) string { return path + ".prev" }
+
+// encodeCheckpoint renders the state with the crc32c trailer appended.
+func encodeCheckpoint(cp *checkpointFile) ([]byte, error) {
+	data, err := json.MarshalIndent(cp, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("engine: marshal checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	sum := crc32.Checksum(data, castagnoli)
+	return append(data, []byte(fmt.Sprintf("%s%08x\n", crcPrefix, sum))...), nil
+}
+
+// decodeCheckpoint verifies the trailer and the record invariants before
+// handing the state back. Every failure wraps ErrCheckpointCorrupt so
+// Restore can distinguish "corrupt, try the previous generation" from
+// I/O errors.
+func decodeCheckpoint(data []byte) (*checkpointFile, error) {
+	payload, sumHex, ok := splitTrailer(data)
+	if !ok {
+		// No trailer. A version-1 file parses as JSON but predates the
+		// integrity scheme; report the version mismatch specifically.
+		var cp checkpointFile
+		if json.Unmarshal(data, &cp) == nil && cp.Version != 0 && cp.Version != checkpointVersion {
+			return nil, fmt.Errorf("%w: version %d, want %d", ErrCheckpointCorrupt, cp.Version, checkpointVersion)
+		}
+		return nil, fmt.Errorf("%w: missing checksum trailer", ErrCheckpointCorrupt)
+	}
+	var want uint32
+	if _, err := fmt.Sscanf(sumHex, "%08x", &want); err != nil {
+		return nil, fmt.Errorf("%w: unreadable checksum %q", ErrCheckpointCorrupt, sumHex)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: crc32c %08x, trailer says %08x", ErrCheckpointCorrupt, got, want)
+	}
+	var cp checkpointFile
+	if err := json.Unmarshal(payload, &cp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
+	}
+	if cp.Version != checkpointVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrCheckpointCorrupt, cp.Version, checkpointVersion)
+	}
+	seen := make(map[string]bool, len(cp.Jobs))
+	for i := range cp.Jobs {
+		j := &cp.Jobs[i]
+		if j.ID == "" || seen[j.ID] {
+			return nil, fmt.Errorf("%w: duplicate or empty job id %q", ErrCheckpointCorrupt, j.ID)
+		}
+		seen[j.ID] = true
+		switch j.State {
+		case JobQueued, JobRunning, JobCompleted, JobFailed:
+		default:
+			return nil, fmt.Errorf("%w: job %s has unknown state %q", ErrCheckpointCorrupt, j.ID, j.State)
+		}
+	}
+	return &cp, nil
+}
+
+// splitTrailer separates the payload from the "#crc32c=xxxxxxxx\n"
+// final line.
+func splitTrailer(data []byte) (payload []byte, sumHex string, ok bool) {
+	// The trailer line has fixed length: prefix + 8 hex digits + newline.
+	n := len(crcPrefix) + 8 + 1
+	if len(data) < n || data[len(data)-1] != '\n' {
+		return nil, "", false
+	}
+	line := data[len(data)-n:]
+	if string(line[:len(crcPrefix)]) != crcPrefix {
+		return nil, "", false
+	}
+	return data[:len(data)-n], string(line[len(crcPrefix) : n-1]), true
+}
+
+// Checkpoint durably writes the queue state to the configured path:
+// temp file in the same directory, fsync, rotate the live file to
+// <path>.prev, rename the temp into place, fsync the directory. A crash
+// at any point leaves either the old generation, the new one, or a
+// detectably torn file plus the .prev salvage copy — never a silent
+// mix. A queue without a checkpoint path is a no-op.
 func (q *Queue) Checkpoint() error {
 	if q.opts.Checkpoint == "" {
 		return nil
@@ -42,12 +143,26 @@ func (q *Queue) Checkpoint() error {
 	}
 	q.mu.Unlock()
 
-	data, err := json.MarshalIndent(&cp, "", "  ")
+	data, err := encodeCheckpoint(&cp)
 	if err != nil {
-		return fmt.Errorf("engine: marshal checkpoint: %w", err)
+		return err
 	}
-	data = append(data, '\n')
-	dir := filepath.Dir(q.opts.Checkpoint)
+	dest := q.opts.Checkpoint
+	// Chaos point: a checkpoint write that tears mid-file (shortwrite —
+	// the dest ends up truncated, CRC-invalid) or fails outright (error).
+	// The rotation below has already preserved .prev by the time a real
+	// rename could tear, which is what the injected torn write emulates.
+	if f := chaos.Maybe("engine.checkpoint.write"); f != nil {
+		if ierr := f.Err(); ierr != nil {
+			return fmt.Errorf("engine: write checkpoint: %w", ierr)
+		}
+		if torn, ok := f.ShortWrite(data); ok {
+			rotateCheckpoint(dest)
+			_ = os.WriteFile(dest, torn, 0o644)
+			return nil
+		}
+	}
+	dir := filepath.Dir(dest)
 	tmp, err := os.CreateTemp(dir, ".sbstd-checkpoint-*")
 	if err != nil {
 		return fmt.Errorf("engine: checkpoint temp: %w", err)
@@ -57,32 +172,81 @@ func (q *Queue) Checkpoint() error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: write checkpoint: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("engine: sync checkpoint: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: close checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), q.opts.Checkpoint); err != nil {
+	rotateCheckpoint(dest)
+	if err := os.Rename(tmp.Name(), dest); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("engine: rename checkpoint: %w", err)
 	}
+	syncDir(dir)
 	return nil
 }
 
-// Restore loads a checkpoint file into a fresh queue, re-enqueueing
-// every non-terminal job. Call before Start and before any Submit;
-// restoring into a started or non-empty queue is an error.
-func (q *Queue) Restore(path string) error {
-	data, err := os.ReadFile(path)
+// rotateCheckpoint moves the live checkpoint to its .prev slot
+// (best-effort: a missing live file just leaves the old .prev).
+func rotateCheckpoint(dest string) {
+	if _, err := os.Stat(dest); err == nil {
+		_ = os.Rename(dest, prevPath(dest))
+	}
+}
+
+// syncDir fsyncs a directory so the renames within it are durable.
+// Best-effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
 	if err != nil {
-		return err
+		return
 	}
-	var cp checkpointFile
-	if err := json.Unmarshal(data, &cp); err != nil {
-		return fmt.Errorf("engine: parse checkpoint %s: %w", path, err)
+	_ = d.Sync()
+	d.Close()
+}
+
+// Restore loads a checkpoint into a fresh queue, re-enqueueing every
+// non-terminal job. Call before Start and before any Submit; restoring
+// into a started or non-empty queue is an error.
+//
+// A corrupt or torn live checkpoint is not fatal: Restore falls back to
+// the previous generation (<path>.prev) written by the last successful
+// Checkpoint, counting the salvage on queue.checkpoint_salvaged. Only
+// when no generation is loadable does it return an error wrapping
+// ErrCheckpointCorrupt.
+func (q *Queue) Restore(path string) error {
+	cp, mainErr := loadCheckpoint(path)
+	if mainErr != nil {
+		if os.IsNotExist(mainErr) {
+			if _, perr := os.Stat(prevPath(path)); perr != nil {
+				return mainErr // genuinely no checkpoint: not an error to salvage
+			}
+		}
+		prev, prevErr := loadCheckpoint(prevPath(path))
+		if prevErr != nil {
+			if errors.Is(mainErr, ErrCheckpointCorrupt) {
+				return fmt.Errorf("engine: checkpoint %s unrecoverable (%v; previous: %v): %w",
+					path, mainErr, prevErr, ErrCheckpointCorrupt)
+			}
+			return mainErr
+		}
+		cp = prev
+		ctrCheckpointSalvaged.Add(1)
+		obs.Emit(q.opts.Sink, obs.Event{
+			Type: obs.EventPhase,
+			Name: "queue",
+			Fields: map[string]any{
+				"event":  "checkpoint_salvaged",
+				"path":   prevPath(path),
+				"reason": mainErr.Error(),
+			},
+		})
 	}
-	if cp.Version != checkpointVersion {
-		return fmt.Errorf("engine: checkpoint %s has version %d, want %d", path, cp.Version, checkpointVersion)
-	}
+
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.started || len(q.jobs) > 0 {
@@ -111,4 +275,16 @@ func (q *Queue) Restore(path string) error {
 		}
 	}
 	return nil
+}
+
+func loadCheckpoint(path string) (*checkpointFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	return cp, nil
 }

@@ -13,7 +13,8 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files")
 
 // fixedQueue builds the deterministic queue state behind the golden
-// file: a completed, a failed and a still-queued job with pinned
+// file: a completed, a failed, a still-queued and a panic-requeued job
+// (attempts already spent, sitting out its retry backoff) with pinned
 // timestamps.
 func fixedQueue(t *testing.T, checkpointPath string) *Queue {
 	t.Helper()
@@ -32,6 +33,8 @@ func fixedQueue(t *testing.T, checkpointPath string) *Queue {
 		Vectors: VectorSource{Kind: "bist", Count: 2048}}); err != nil {
 		t.Fatal(err)
 	}
+	retrying, _ := q.Submit(JobSpec{Kind: JobFaultSim,
+		Vectors: VectorSource{Kind: "bist", Count: 512}, DeadlineSec: 30})
 	// Hand-finish the first two without running the pool so the state
 	// is fully deterministic.
 	q.mu.Lock()
@@ -48,6 +51,12 @@ func fixedQueue(t *testing.T, checkpointPath string) *Queue {
 	j2.Attempts = 2
 	j2.Started, j2.Finished = &started, &finished
 	j2.Error = "engine: job panic: simulated"
+	// A job that panicked once and went back to queued: Attempts must
+	// survive the checkpoint round trip so a restore keeps charging the
+	// same retry budget.
+	j4 := q.jobs[retrying.ID]
+	j4.Attempts = 1
+	j4.Error = "engine: job panic: simulated"
 	q.mu.Unlock()
 	return q
 }
@@ -82,6 +91,11 @@ func TestCheckpointGoldenRoundTrip(t *testing.T) {
 		}})
 	if err := q.Restore(golden); err != nil {
 		t.Fatal(err)
+	}
+	// Satellite guarantee: a requeued job's spent attempts survive the
+	// round trip, so retry budgets keep charging across restarts.
+	if j, ok := q.Get("job-0004"); !ok || j.Attempts != 1 || j.State != JobQueued || j.Spec.DeadlineSec != 30 {
+		t.Fatalf("requeued job did not survive restore intact: %+v", j)
 	}
 	if err := q.Checkpoint(); err != nil {
 		t.Fatal(err)

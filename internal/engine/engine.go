@@ -29,17 +29,43 @@ import (
 )
 
 var (
-	ctrSimRuns   = obs.Default().Counter("engine.sim.runs")
-	ctrSimShards = obs.Default().Counter("engine.sim.shards")
+	ctrSimRuns      = obs.Default().Counter("engine.sim.runs")
+	ctrSimShards    = obs.Default().Counter("engine.sim.shards")
+	ctrShardRetries = obs.Default().Counter("engine.shard_retries")
 )
 
-// SimOptions extend fault.SimOptions with the shard count.
+// shardAttempts is the per-shard run budget: a shard that panics or
+// returns a transient error (including chaos-injected ones) is retried
+// from scratch once before the whole campaign fails. Fault simulation
+// is deterministic, so a retried shard reproduces the identical result.
+const shardAttempts = 2
+
+// SimOptions extend fault.SimOptions with the shard count and the
+// shadow cross-checking knobs.
 type SimOptions struct {
 	fault.SimOptions
 	// Workers is the number of simulation shards, each with its own
 	// simulator on its own goroutine. Zero selects runtime.NumCPU(); one
 	// takes the exact serial fault.Simulate path.
 	Workers int
+	// ShadowSample is the fraction of each shard's faults re-simulated
+	// through the serial reference kernel (fault.KernelReference) after
+	// the shard completes, as a cross-check on the compiled kernel. On
+	// divergence the compiled kernel is quarantined for that shard: the
+	// shard falls back to a full reference re-run, the kernel.divergence
+	// counter advances, and a diagnostic bundle is emitted. Zero selects
+	// the default (0.005 ≈ <5% overhead); negative disables shadow
+	// checking. Ignored when Kernel is already KernelReference or on the
+	// Workers<=1 exact-serial path.
+	ShadowSample float64
+	// ShadowSeed seeds the deterministic shadow sample selection
+	// (0 = 1).
+	ShadowSeed int64
+	// DiagDir, when non-empty, receives a JSON diagnostic bundle per
+	// kernel divergence (shard, sampled faults, expected vs observed
+	// detection cycles). Divergences are always reported through the
+	// Sink and counters regardless.
+	DiagDir string
 }
 
 // Simulate runs the vector sequence against the netlist with the fault
@@ -102,7 +128,29 @@ func Simulate(n *logic.Netlist, vecs fault.VectorSeq, opts SimOptions) (*fault.R
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			shardRes[s], shardErr[s] = fault.Simulate(n, vecs, shard)
+			// Shard supervisor: a panicking or transiently failing shard
+			// is retried once from scratch (simulation is deterministic,
+			// so the retry reproduces the identical result) instead of
+			// taking down the whole campaign — or, without the recover,
+			// the whole process.
+			for attempt := 1; ; attempt++ {
+				res, err := runShard(n, vecs, shard, opts, s)
+				if err == nil || attempt >= shardAttempts ||
+					(opts.Ctx != nil && opts.Ctx.Err() != nil) {
+					shardRes[s], shardErr[s] = res, err
+					break
+				}
+				ctrShardRetries.Add(1)
+				obs.Emit(opts.Sink, obs.Event{
+					Type: obs.EventPhase,
+					Name: fmt.Sprintf("engine.sim/shard%d", s),
+					Fields: map[string]any{
+						"event":   "shard_retry",
+						"attempt": attempt,
+						"error":   err.Error(),
+					},
+				})
+			}
 			agg.finish(s)
 		}(s)
 	}

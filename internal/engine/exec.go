@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/bist"
+	"repro/internal/chaos"
 	"repro/internal/dspgate"
 	"repro/internal/fault"
 	"repro/internal/isa"
@@ -51,6 +52,15 @@ func sharedCore() (*dspgate.Core, []fault.Fault, error) {
 // Simulate.
 func NewExecutor(cfg ExecConfig) Executor {
 	return func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+		// Chaos point: an executor that crashes, stalls, or fails with a
+		// retryable environment error before the campaign starts.
+		if f := chaos.Maybe("engine.exec"); f != nil {
+			f.PanicNow()
+			f.Sleep(ctx)
+			if ierr := f.Err(); ierr != nil {
+				return nil, fmt.Errorf("%w: %v", ErrTransient, ierr)
+			}
+		}
 		core, faults, err := sharedCore()
 		if err != nil {
 			return nil, err

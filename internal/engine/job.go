@@ -61,6 +61,11 @@ type JobSpec struct {
 	Frames        int `json:"frames,omitempty"`
 	SampleEvery   int `json:"sample_every,omitempty"`
 	MaxBacktracks int `json:"max_backtracks,omitempty"`
+	// DeadlineSec bounds the job's wall time: the executor's context is
+	// cancelled that many seconds after the job starts and the job fails
+	// with a deadline error (no retry — a rerun would only time out
+	// again). Zero inherits the queue's JobTimeout, if any.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
 }
 
 // Validate rejects specs the executor could not run, so the server can
@@ -92,7 +97,7 @@ func (s *JobSpec) Validate() error {
 	default:
 		return fmt.Errorf("engine: unknown job kind %q", s.Kind)
 	}
-	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 {
+	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 || s.DeadlineSec < 0 {
 		return fmt.Errorf("engine: negative option")
 	}
 	return nil

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 )
 
@@ -22,12 +25,27 @@ var (
 	// short by queue shutdown; the job goes back to queued so a
 	// checkpoint restore re-runs it.
 	ErrInterrupted = errors.New("engine: job interrupted by shutdown")
+	// ErrTransient marks executor failures worth retrying (flaky
+	// environment, injected chaos). Wrap it — the queue classifies with
+	// errors.Is and retries with exponential backoff while the job's
+	// attempt budget lasts.
+	ErrTransient = errors.New("engine: transient job failure")
+)
+
+var (
+	ctrQueueRetries     = obs.Default().Counter("queue.retries")
+	ctrBreakerTrips     = obs.Default().Counter("queue.breaker_trips")
+	ctrWatchdogTrips    = obs.Default().Counter("queue.watchdog_trips")
+	ctrDeadlineExceeded = obs.Default().Counter("queue.deadline_exceeded")
+	ctrCheckpointErrors = obs.Default().Counter("queue.checkpoint_errors")
 )
 
 // Executor runs one job spec to completion. update (never nil) publishes
 // progress snapshots; ctx is cancelled when a drain deadline forces
 // running jobs to stop, in which case the executor should return
-// ErrInterrupted (wrapped or bare).
+// ErrInterrupted (wrapped or bare). The context also carries the job's
+// own deadline (Spec.DeadlineSec / QueueOptions.JobTimeout) and is
+// cancelled by the stuck-job watchdog.
 type Executor func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error)
 
 // QueueOptions configure NewQueue.
@@ -37,8 +55,9 @@ type QueueOptions struct {
 	Workers int
 	// MaxPending bounds the not-yet-running buffer (default 64).
 	MaxPending int
-	// MaxAttempts is the per-job run budget consumed by panics before
-	// the job fails (default 2: one retry after a first panic).
+	// MaxAttempts is the per-job run budget consumed by retryable
+	// failures — panics, ErrTransient errors, watchdog cancellations —
+	// before the job fails (default 2: one retry after a first failure).
 	MaxAttempts int
 	// Exec runs jobs; required.
 	Exec Executor
@@ -47,13 +66,47 @@ type QueueOptions struct {
 	Checkpoint string
 	// Sink receives queue lifecycle events (job state transitions).
 	Sink obs.Sink
+
+	// RetryBase is the first retry's backoff ceiling; each further
+	// attempt doubles it up to RetryMax, with jitter drawn from the
+	// upper half of the window (default 50ms, capped at 5s).
+	RetryBase time.Duration
+	// RetryMax caps the exponential backoff (default 5s).
+	RetryMax time.Duration
+	// JobTimeout bounds every job's wall time unless the spec's own
+	// DeadlineSec is tighter. Zero means no queue-wide deadline.
+	JobTimeout time.Duration
+	// BreakerThreshold is the number of consecutive terminal job
+	// failures that trips the circuit breaker (default 5). Zero keeps
+	// the default; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long workers pause after the breaker trips
+	// (default 30s).
+	BreakerCooldown time.Duration
+	// StuckTimeout enables the watchdog: a running job that publishes no
+	// progress for this long is cancelled and retried. Zero disables.
+	StuckTimeout time.Duration
+
 	// now overrides the clock in tests.
 	now func() time.Time
 }
 
-// Queue is a bounded in-process job queue with a worker pool,
-// retry-on-panic recovery and JSON checkpoint/resume. All exported
-// methods are safe for concurrent use.
+// runningJob is the queue's handle on an in-flight execution: the lever
+// to cancel it and the progress heartbeat the watchdog reads.
+type runningJob struct {
+	cancel       context.CancelFunc
+	lastProgress atomic.Int64 // UnixNano of the last update callback
+	stuck        atomic.Bool  // set by the watchdog before cancelling
+	injected     bool         // chaos queue.job.cancel armed for this run
+}
+
+func (rj *runningJob) touch() { rj.lastProgress.Store(time.Now().UnixNano()) }
+
+// Queue is a bounded in-process job queue with a worker pool, graceful
+// degradation guardrails (exponential-backoff retries, per-job
+// deadlines, a consecutive-failure circuit breaker, a stuck-job
+// watchdog) and JSON checkpoint/resume. All exported methods are safe
+// for concurrent use.
 type Queue struct {
 	opts QueueOptions
 
@@ -61,6 +114,13 @@ type Queue struct {
 	jobs   map[string]*Job
 	order  []string
 	nextID int
+
+	running map[string]*runningJob
+	timers  map[string]*time.Timer
+
+	failStreak  int       // consecutive terminal failures, guarded by mu
+	breakerOpen time.Time // workers pause until this instant, guarded by mu
+	rng         *rand.Rand
 
 	work     chan string
 	stop     chan struct{}
@@ -84,6 +144,18 @@ func NewQueue(opts QueueOptions) *Queue {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 2
 	}
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 5 * time.Second
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = 5
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 30 * time.Second
+	}
 	if opts.now == nil {
 		opts.now = time.Now
 	}
@@ -91,6 +163,9 @@ func NewQueue(opts QueueOptions) *Queue {
 	return &Queue{
 		opts:      opts,
 		jobs:      make(map[string]*Job),
+		running:   make(map[string]*runningJob),
+		timers:    make(map[string]*time.Timer),
+		rng:       rand.New(rand.NewSource(1)),
 		work:      make(chan string, opts.MaxPending),
 		stop:      make(chan struct{}),
 		jobCtx:    ctx,
@@ -98,7 +173,8 @@ func NewQueue(opts QueueOptions) *Queue {
 	}
 }
 
-// Start launches the worker pool. It is a no-op when already started.
+// Start launches the worker pool (and the watchdog when StuckTimeout is
+// set). It is a no-op when already started.
 func (q *Queue) Start() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -109,6 +185,10 @@ func (q *Queue) Start() {
 	for i := 0; i < q.opts.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
+	}
+	if q.opts.StuckTimeout > 0 {
+		q.wg.Add(1)
+		go q.watchdog()
 	}
 }
 
@@ -189,12 +269,17 @@ func (q *Queue) Draining() bool {
 // Drain stops accepting submissions, lets running jobs finish, then
 // writes a final checkpoint. If ctx expires first, running jobs are
 // cancelled (they stop at the next segment boundary and return to the
-// queued state) and the checkpoint still captures them for resume.
+// queued state) and the checkpoint still captures them for resume. Jobs
+// sitting out a retry backoff stay queued and are likewise captured.
 func (q *Queue) Drain(ctx context.Context) error {
 	q.mu.Lock()
 	if !q.draining {
 		q.draining = true
 		close(q.stop)
+		for id, t := range q.timers {
+			t.Stop()
+			delete(q.timers, id)
+		}
 	}
 	q.mu.Unlock()
 
@@ -231,9 +316,51 @@ func (q *Queue) worker() {
 		case <-q.stop:
 			return
 		case id := <-q.work:
+			if !q.breakerWait() {
+				// Stopped while the breaker was open; the job is still
+				// JobQueued and the final checkpoint captures it.
+				return
+			}
 			q.run(id)
 		}
 	}
+}
+
+// breakerWait blocks while the circuit breaker is open. It returns
+// false when the queue stops first.
+func (q *Queue) breakerWait() bool {
+	for {
+		q.mu.Lock()
+		wait := q.breakerOpen.Sub(q.opts.now())
+		q.mu.Unlock()
+		if wait <= 0 {
+			return true
+		}
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		select {
+		case <-q.stop:
+			return false
+		case <-time.After(wait):
+		}
+	}
+}
+
+// jobContext derives the per-job execution context: the queue-wide
+// JobTimeout unless the spec's own DeadlineSec is tighter.
+func (q *Queue) jobContext(spec JobSpec) (context.Context, context.CancelFunc) {
+	timeout := q.opts.JobTimeout
+	if spec.DeadlineSec > 0 {
+		d := time.Duration(spec.DeadlineSec * float64(time.Second))
+		if timeout <= 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		return context.WithTimeout(q.jobCtx, timeout)
+	}
+	return context.WithCancel(q.jobCtx)
 }
 
 func (q *Queue) run(id string) {
@@ -248,23 +375,38 @@ func (q *Queue) run(id string) {
 	j.Attempts++
 	j.Started = &now
 	j.Error = ""
+	jctx, cancel := q.jobContext(j.Spec)
+	rj := &runningJob{cancel: cancel}
+	rj.touch()
+	// Chaos point: a job whose context is yanked mid-flight for no
+	// visible reason (operator kill, orphaned deadline). Classified as
+	// retryable, like a watchdog trip.
+	if f := chaos.Maybe("queue.job.cancel"); f != nil {
+		rj.injected = true
+		f.Cancel(cancel)
+	}
+	q.running[id] = rj
 	snap := snapshotJob(j)
 	q.mu.Unlock()
 	q.emit(snap, "started")
 
 	update := func(p Progress) {
+		rj.touch()
 		q.mu.Lock()
 		j.Progress = p
 		q.mu.Unlock()
 	}
 	start := time.Now()
-	res, err, panicked := q.execute(j.Spec, update)
+	res, err, panicked := q.execute(jctx, j.Spec, update)
 	elapsed := time.Since(start).Seconds()
+	deadlineHit := errors.Is(jctx.Err(), context.DeadlineExceeded)
+	cancel()
 
 	q.mu.Lock()
+	delete(q.running, id)
 	fin := q.opts.now().UTC()
 	j.Finished = &fin
-	requeue := false
+	retryable := false
 	switch {
 	case err == nil:
 		if res != nil {
@@ -272,49 +414,191 @@ func (q *Queue) run(id string) {
 		}
 		j.State = JobCompleted
 		j.Result = res
-	case errors.Is(err, ErrInterrupted) || q.jobCtx.Err() != nil:
+		q.failStreak = 0
+	case q.jobCtx.Err() != nil:
 		// Shutdown cut the campaign short: keep the job queued so a
 		// checkpoint restore re-runs it, and give the attempt back.
 		j.State = JobQueued
 		j.Attempts--
 		j.Error = err.Error()
-	case panicked && j.Attempts < q.opts.MaxAttempts:
-		j.State = JobQueued
+	case deadlineHit && !rj.stuck.Load() && !rj.injected:
+		// The job's own deadline fired. Terminal: a rerun of the same
+		// spec would only time out again.
+		ctrDeadlineExceeded.Add(1)
+		j.State = JobFailed
+		j.Error = fmt.Sprintf("deadline exceeded after %.1fs: %v", elapsed, err)
+	case rj.stuck.Load():
+		retryable = true
+		j.Error = "watchdog: no progress for " + q.opts.StuckTimeout.String() + ": " + err.Error()
+	case rj.injected:
+		retryable = true
 		j.Error = err.Error()
-		requeue = true
+	case panicked || errors.Is(err, ErrTransient) || errors.Is(err, ErrInterrupted):
+		retryable = true
+		j.Error = err.Error()
 	default:
 		j.State = JobFailed
 		j.Error = err.Error()
 	}
-	if requeue {
-		select {
-		case q.work <- j.ID:
-		default:
+	if retryable {
+		if j.Attempts < q.opts.MaxAttempts && !q.draining {
+			j.State = JobQueued
+			q.scheduleRetryLocked(id, j.Attempts)
+		} else {
 			j.State = JobFailed
-			j.Error = "retry dropped: " + j.Error + " (queue full)"
-			requeue = false
+			j.Error = fmt.Sprintf("retries exhausted after %d attempts: %s", j.Attempts, j.Error)
 		}
+	}
+	if j.State == JobFailed {
+		q.failStreakLocked()
 	}
 	snap = snapshotJob(j)
 	q.mu.Unlock()
 	q.emit(snap, string(snap.State))
 	if snap.State == JobCompleted || snap.State == JobFailed {
 		if q.opts.Checkpoint != "" {
-			_ = q.Checkpoint()
+			if cerr := q.Checkpoint(); cerr != nil {
+				ctrCheckpointErrors.Add(1)
+				obs.Emit(q.opts.Sink, obs.Event{
+					Type: obs.EventPhase,
+					Name: "queue/" + snap.ID,
+					Fields: map[string]any{
+						"event": "checkpoint_error",
+						"error": cerr.Error(),
+					},
+				})
+			}
+		}
+	}
+}
+
+// scheduleRetryLocked arms the backoff timer for a requeued job. Caller
+// holds q.mu.
+func (q *Queue) scheduleRetryLocked(id string, attempts int) {
+	delay := q.retryDelayLocked(attempts)
+	ctrQueueRetries.Add(1)
+	obs.Emit(q.opts.Sink, obs.Event{
+		Type: obs.EventPhase,
+		Name: "queue/" + id,
+		Fields: map[string]any{
+			"event":    "retry_scheduled",
+			"attempts": attempts,
+			"delay_ms": delay.Milliseconds(),
+		},
+	})
+	q.timers[id] = time.AfterFunc(delay, func() { q.requeue(id) })
+}
+
+// retryDelayLocked computes attempt N's backoff: RetryBase doubled per
+// prior attempt, capped at RetryMax, with jitter drawn from the upper
+// half of the window so synchronized failures fan out. Caller holds
+// q.mu (for the rng).
+func (q *Queue) retryDelayLocked(attempts int) time.Duration {
+	d := q.opts.RetryBase
+	for i := 1; i < attempts && d < q.opts.RetryMax; i++ {
+		d *= 2
+	}
+	if d > q.opts.RetryMax {
+		d = q.opts.RetryMax
+	}
+	return d/2 + time.Duration(q.rng.Int63n(int64(d)/2+1))
+}
+
+// requeue moves a backoff-expired job back into the work channel. If
+// the pending buffer is momentarily full the retry re-arms instead of
+// dropping the job.
+func (q *Queue) requeue(id string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	delete(q.timers, id)
+	if q.draining {
+		return
+	}
+	j, ok := q.jobs[id]
+	if !ok || j.State != JobQueued {
+		return
+	}
+	select {
+	case q.work <- id:
+	default:
+		q.timers[id] = time.AfterFunc(q.opts.RetryBase, func() { q.requeue(id) })
+	}
+}
+
+// failStreakLocked advances the consecutive-failure count and trips the
+// circuit breaker at the threshold: workers pause for BreakerCooldown so
+// a poisoned environment (bad core build, failing disk) stops burning
+// the backlog. Caller holds q.mu.
+func (q *Queue) failStreakLocked() {
+	if q.opts.BreakerThreshold < 0 {
+		return
+	}
+	q.failStreak++
+	if q.failStreak < q.opts.BreakerThreshold {
+		return
+	}
+	q.failStreak = 0
+	q.breakerOpen = q.opts.now().Add(q.opts.BreakerCooldown)
+	ctrBreakerTrips.Add(1)
+	obs.Emit(q.opts.Sink, obs.Event{
+		Type: obs.EventPhase,
+		Name: "queue",
+		Fields: map[string]any{
+			"event":       "breaker_tripped",
+			"cooldown_ms": q.opts.BreakerCooldown.Milliseconds(),
+		},
+	})
+}
+
+// watchdog cancels running jobs that stop publishing progress. The
+// executor sees its context die, unwinds at the next segment boundary,
+// and the queue retries the job within its attempt budget.
+func (q *Queue) watchdog() {
+	defer q.wg.Done()
+	interval := q.opts.StuckTimeout / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-tick.C:
+			now := time.Now()
+			q.mu.Lock()
+			for id, rj := range q.running {
+				last := time.Unix(0, rj.lastProgress.Load())
+				if now.Sub(last) <= q.opts.StuckTimeout || rj.stuck.Swap(true) {
+					continue
+				}
+				ctrWatchdogTrips.Add(1)
+				obs.Emit(q.opts.Sink, obs.Event{
+					Type: obs.EventPhase,
+					Name: "queue/" + id,
+					Fields: map[string]any{
+						"event":    "watchdog_cancel",
+						"stuck_ms": now.Sub(last).Milliseconds(),
+					},
+				})
+				rj.cancel()
+			}
+			q.mu.Unlock()
 		}
 	}
 }
 
 // execute runs the executor with panic containment: a panicking job
 // takes down neither its worker goroutine nor the queue.
-func (q *Queue) execute(spec JobSpec, update func(Progress)) (res *JobResult, err error, panicked bool) {
+func (q *Queue) execute(ctx context.Context, spec JobSpec, update func(Progress)) (res *JobResult, err error, panicked bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			panicked = true
 			err = fmt.Errorf("engine: job panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	res, err = q.opts.Exec(q.jobCtx, spec, update)
+	res, err = q.opts.Exec(ctx, spec, update)
 	return res, err, false
 }
 

@@ -3,8 +3,30 @@ package engine
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/obs"
 )
+
+var ctrServerShed = obs.Default().Counter("sbstd.shed")
+
+// ServerOptions are the degradation knobs for the HTTP layer. The zero
+// value disables them all, preserving NewServer's original behavior.
+type ServerOptions struct {
+	// RequestTimeout bounds each request's handler time; expired
+	// requests answer 503 with a JSON error body. Zero disables.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently served requests; excess load is
+	// shed with 503 + Retry-After instead of queueing without bound.
+	// Zero disables shedding.
+	MaxInflight int
+	// RetryAfter is the Retry-After hint on shed and queue-full
+	// responses (default 5s).
+	RetryAfter time.Duration
+}
 
 // Server exposes a Queue over HTTP:
 //
@@ -15,26 +37,78 @@ import (
 //	GET  /healthz           liveness + queue occupancy
 //
 // Error bodies are {"error": "..."} JSON. Submission answers 400 on a
-// malformed or invalid spec and 503 while draining or when the bounded
-// queue is full.
+// malformed or invalid spec and 503 (with Retry-After) while draining
+// or when the bounded queue is full. Under ServerOptions the server
+// also sheds excess concurrent load and times out stuck requests, so a
+// wedged campaign can not pile up connections until the daemon dies.
 type Server struct {
-	q   *Queue
-	mux *http.ServeMux
+	q        *Queue
+	opts     ServerOptions
+	inflight chan struct{}
+	handler  http.Handler
 }
 
-// NewServer wraps a queue in the HTTP API.
-func NewServer(q *Queue) *Server {
-	s := &Server{q: q, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /jobs", s.submit)
-	s.mux.HandleFunc("GET /jobs", s.list)
-	s.mux.HandleFunc("GET /jobs/{id}", s.get)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.result)
-	s.mux.HandleFunc("GET /healthz", s.health)
+// NewServer wraps a queue in the HTTP API with no degradation limits.
+func NewServer(q *Queue) *Server { return NewServerWith(q, ServerOptions{}) }
+
+// NewServerWith wraps a queue in the HTTP API with the given
+// degradation options.
+func NewServerWith(q *Queue, opts ServerOptions) *Server {
+	if opts.RetryAfter <= 0 {
+		opts.RetryAfter = 5 * time.Second
+	}
+	s := &Server{q: q, opts: opts}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.submit)
+	mux.HandleFunc("GET /jobs", s.list)
+	mux.HandleFunc("GET /jobs/{id}", s.get)
+	mux.HandleFunc("GET /jobs/{id}/result", s.result)
+	mux.HandleFunc("GET /healthz", s.health)
+	// Chaos point: a request that stalls while being handled (wedged
+	// campaign lookup, saturated disk) — inside the timeout handler and
+	// the inflight accounting, so tests can drive the timeout and
+	// shedding paths end to end.
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if f := chaos.Maybe("sbstd.request"); f != nil {
+			f.Sleep(r.Context())
+		}
+		mux.ServeHTTP(w, r)
+	})
+	s.handler = inner
+	if opts.RequestTimeout > 0 {
+		s.handler = http.TimeoutHandler(inner, opts.RequestTimeout,
+			`{"error":"request timed out"}`)
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: load shedding first, then the
+// (optionally time-bounded) API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			ctrServerShed.Add(1)
+			s.retryAfter(w)
+			writeErr(w, http.StatusServiceUnavailable, "server at capacity")
+			return
+		}
+	}
+	s.handler.ServeHTTP(w, r)
+}
+
+func (s *Server) retryAfter(w http.ResponseWriter) {
+	secs := int(s.opts.RetryAfter / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+}
 
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -47,6 +121,8 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.q.Submit(spec)
 	switch {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
+		// Back-pressure, not failure: tell the client when to retry.
+		s.retryAfter(w)
 		writeErr(w, http.StatusServiceUnavailable, err.Error())
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err.Error())

@@ -1,0 +1,191 @@
+package engine
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bist"
+	"repro/internal/chaos"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// armChaos arms a chaos spec for one test, disarming on cleanup.
+func armChaos(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	cfg, err := chaos.Parse(spec, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos.Arm(cfg)
+	t.Cleanup(chaos.Disarm)
+}
+
+func counter(name string) int64 { return obs.Default().Counter(name).Load() }
+
+// referenceResult computes the oracle result on the serial reference
+// kernel with chaos disarmed.
+func referenceResult(t *testing.T, faults []fault.Fault, vecs fault.Vectors) *fault.Result {
+	t.Helper()
+	core, _ := testCore(t)
+	res, err := fault.Simulate(core.Netlist, vecs, fault.SimOptions{
+		Faults: faults, Kernel: fault.KernelReference,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestShadowSampleSize(t *testing.T) {
+	cases := []struct {
+		k      int
+		sample float64
+		want   int
+	}{
+		{1000, 0, 5},    // default 0.005
+		{100, 0, 1},     // default floored at one fault
+		{1000, 1, 1000}, // full check
+		{1000, 0.01, 10},
+		{1000, -1, 0}, // disabled
+		{0, 1, 0},
+		{3, 0.5, 2},
+	}
+	for _, c := range cases {
+		if got := shadowSampleSize(c.k, c.sample); got != c.want {
+			t.Errorf("shadowSampleSize(%d, %v) = %d, want %d", c.k, c.sample, got, c.want)
+		}
+	}
+}
+
+func TestShadowIndicesDeterministic(t *testing.T) {
+	a := shadowIndices(500, 20, 42, 3)
+	b := shadowIndices(500, 20, 42, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed/shard produced different samples")
+	}
+	c := shadowIndices(500, 20, 42, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different shards produced identical samples")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] <= a[i-1] {
+			t.Fatalf("sample not sorted/unique at %d: %v", i, a)
+		}
+	}
+}
+
+// TestShadowCleanRunMatchesReference: with no chaos, a full-sample
+// shadow check neither changes the result nor reports divergence.
+func TestShadowCleanRunMatchesReference(t *testing.T) {
+	core, faults := testCore(t)
+	if len(faults) > 800 {
+		faults = faults[:800]
+	}
+	vecs := bist.PseudorandomVectors(300, 1)
+	want := referenceResult(t, faults, vecs)
+
+	before := counter("kernel.divergence")
+	res, err := Simulate(core.Netlist, vecs, SimOptions{
+		SimOptions:   fault.SimOptions{Faults: faults},
+		Workers:      2,
+		ShadowSample: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.DetectedAt, want.DetectedAt) {
+		t.Fatal("clean shadow-checked run diverges from reference")
+	}
+	if got := counter("kernel.divergence") - before; got != 0 {
+		t.Fatalf("clean run recorded %d divergences", got)
+	}
+}
+
+// TestShadowCatchesCorruptedKernel is the core cross-checking
+// guarantee: with chaos corrupting compiled-kernel batch words, the
+// full-sample shadow check must detect the divergence, quarantine the
+// compiled kernel for the shard, and fall back to the reference kernel
+// so the merged result is still bit-identical to the oracle.
+func TestShadowCatchesCorruptedKernel(t *testing.T) {
+	core, faults := testCore(t)
+	if len(faults) > 800 {
+		faults = faults[:800]
+	}
+	vecs := bist.PseudorandomVectors(300, 1)
+	want := referenceResult(t, faults, vecs)
+
+	armChaos(t, "logic.eventsim.diff=corrupt:times=100", 42)
+	divBefore := counter("kernel.divergence")
+	injBefore := counter("chaos.injected")
+	diagDir := t.TempDir()
+	res, err := Simulate(core.Netlist, vecs, SimOptions{
+		SimOptions:   fault.SimOptions{Faults: faults},
+		Workers:      2,
+		ShadowSample: 1,
+		DiagDir:      diagDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("chaos.injected") - injBefore; got != 100 {
+		t.Fatalf("chaos.injected advanced by %d, want 100", got)
+	}
+	if got := counter("kernel.divergence") - divBefore; got < 1 {
+		t.Fatal("corrupted kernel batches produced no recorded divergence")
+	}
+	if !reflect.DeepEqual(res.DetectedAt, want.DetectedAt) {
+		t.Fatal("result after quarantine fallback diverges from reference oracle")
+	}
+	if res.Coverage() != want.Coverage() {
+		t.Fatalf("coverage %v after fallback, want %v", res.Coverage(), want.Coverage())
+	}
+}
+
+// TestShardPanicRecoveredAndRetried: an injected shard panic must not
+// crash the process or fail the campaign — the shard supervisor
+// retries it and the merged result stays bit-identical.
+func TestShardPanicRecoveredAndRetried(t *testing.T) {
+	core, faults := testCore(t)
+	if len(faults) > 600 {
+		faults = faults[:600]
+	}
+	vecs := bist.PseudorandomVectors(200, 1)
+	want := referenceResult(t, faults, vecs)
+
+	armChaos(t, "engine.shard=panic:times=1", 7)
+	retriesBefore := counter("engine.shard_retries")
+	res, err := Simulate(core.Netlist, vecs, SimOptions{
+		SimOptions: fault.SimOptions{Faults: faults},
+		Workers:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("engine.shard_retries") - retriesBefore; got != 1 {
+		t.Fatalf("engine.shard_retries advanced by %d, want 1", got)
+	}
+	if !reflect.DeepEqual(res.DetectedAt, want.DetectedAt) {
+		t.Fatal("post-retry result diverges from reference")
+	}
+}
+
+// TestShardPanicBudgetExhausted: a shard that panics on every attempt
+// surfaces as an error (with the panic message), never as a process
+// crash.
+func TestShardPanicBudgetExhausted(t *testing.T) {
+	core, faults := testCore(t)
+	if len(faults) > 200 {
+		faults = faults[:200]
+	}
+	vecs := bist.PseudorandomVectors(100, 1)
+	armChaos(t, "fault.segment=panic:times=0", 7)
+	_, err := Simulate(core.Netlist, vecs, SimOptions{
+		SimOptions: fault.SimOptions{Faults: faults},
+		Workers:    2,
+	})
+	if err == nil || !strings.Contains(err.Error(), "chaos: injected panic") {
+		t.Fatalf("err = %v, want shard panic error", err)
+	}
+}

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"repro/internal/chaos"
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
@@ -57,6 +58,12 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			r.res.Interrupted = true
 			break
+		}
+		// Chaos point: a shard stall or crash at a segment boundary
+		// (recovered and retried by engine.Simulate's shard supervisor).
+		if f := chaos.Maybe("fault.segment"); f != nil {
+			f.PanicNow()
+			f.Sleep(opts.Ctx)
 		}
 		end := start + curLen
 		if end > total {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/logic"
 	"repro/internal/obs"
 )
@@ -413,6 +414,12 @@ func simulateReference(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Resul
 		if opts.Ctx != nil && opts.Ctx.Err() != nil {
 			r.res.Interrupted = true
 			break
+		}
+		// Chaos point: same boundary as the compiled kernel, so chaos
+		// campaigns can stall or crash either engine.
+		if f := chaos.Maybe("fault.segment"); f != nil {
+			f.PanicNow()
+			f.Sleep(opts.Ctx)
 		}
 		end := start + r.segLen
 		if end > total {

@@ -3,6 +3,8 @@ package logic
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/chaos"
 )
 
 // eventsim.go is the event-driven half of the compiled fault-simulation
@@ -498,7 +500,20 @@ func (e *EventSim) goodWord(id NetID) uint64 {
 // the compacted cone sweep instead (see sweepCycle); the two modes
 // interoperate freely because the only cross-cycle state is qDiff.
 // Call Clock afterwards to advance state.
+//
+// The logic.eventsim.diff chaos point (internal/chaos) can corrupt the
+// returned mask — one seeded-random lane-bit flip — to model a silently
+// wrong compiled-kernel batch; the engine's shadow cross-check exists
+// to catch exactly this class of failure.
 func (e *EventSim) Cycle(rc int) uint64 {
+	det := e.cycle(rc)
+	if f := chaos.Maybe("logic.eventsim.diff"); f != nil {
+		det = f.CorruptWord(det) &^ 1
+	}
+	return det
+}
+
+func (e *EventSim) cycle(rc int) uint64 {
 	c, n := e.c, e.c.n
 	e.cyc++
 	e.row = e.trace.bits[rc*e.trace.words : (rc+1)*e.trace.words]
