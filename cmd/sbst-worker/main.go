@@ -1,0 +1,70 @@
+// Command sbst-worker is one member of a distributed campaign fleet:
+// it polls an sbstd coordinator (started with -distributed) for leased
+// work units, simulates each unit's fault slice against the shared
+// gate-level DSP core, heartbeats while it runs, and uploads the
+// checksummed detection bitmaps. Workers are stateless and
+// interchangeable — kill one mid-unit and its lease expires back into
+// the pool; start more and the campaign merely finishes sooner. The
+// merged campaign result is bit-identical for any fleet size.
+//
+//	sbstd -addr :8321 -distributed &
+//	sbst-worker -coordinator http://localhost:8321 &
+//	sbst-worker -coordinator http://localhost:8321 &
+//
+// SIGTERM/SIGINT exits gracefully: a unit in flight is failed back to
+// the coordinator as retryable so another worker picks it up.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/worker"
+)
+
+func main() {
+	coordinator := flag.String("coordinator", "http://localhost:8321", "sbstd base URL")
+	id := flag.String("id", "", "worker identity in leases and logs (default host-pid)")
+	poll := flag.Duration("poll", 500*time.Millisecond, "idle sleep between lease polls when the coordinator has no work")
+	retries := flag.Int("max-retries", 4, "HTTP retransmissions per call on transport trouble")
+	obsCfg := obs.Flags()
+	chaosCfg := chaos.Flags()
+	flag.Parse()
+
+	rt := obsCfg.MustStart()
+	defer rt.Close()
+	if err := chaosCfg.Arm(); err != nil {
+		fail(err)
+	}
+
+	w := worker.New(worker.Options{
+		Coordinator: *coordinator,
+		ID:          *id,
+		Poll:        *poll,
+		Exec:        engine.ExecConfig{Workers: obsCfg.Workers, Sink: rt.Sink()},
+		Client:      client.New(*coordinator, client.Options{MaxRetries: *retries}),
+		Sink:        rt.Sink(),
+	})
+	fmt.Fprintf(os.Stderr, "sbst-worker: %s polling %s\n", w.ID(), *coordinator)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "sbst-worker: done")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sbst-worker:", err)
+	os.Exit(1)
+}

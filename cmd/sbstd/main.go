@@ -45,6 +45,10 @@ func main() {
 	stuckTimeout := flag.Duration("stuck-timeout", 10*time.Minute, "cancel+retry a job publishing no progress for this long (0 = off)")
 	requestTimeout := flag.Duration("request-timeout", 15*time.Second, "HTTP request handler timeout (0 = none)")
 	maxInflight := flag.Int("max-inflight", 128, "concurrent HTTP requests before load shedding (0 = unlimited)")
+	distributed := flag.Bool("distributed", false, "run as coordinator: fault campaigns become leased work units for sbst-worker processes")
+	units := flag.Int("units", 8, "work units per distributed campaign (ignored without -distributed)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat (ignored without -distributed)")
+	unitAttempts := flag.Int("unit-attempts", 3, "grants per work unit before the campaign fails (ignored without -distributed)")
 	obsCfg := obs.Flags()
 	chaosCfg := chaos.Flags()
 	flag.Parse()
@@ -55,18 +59,34 @@ func main() {
 		fail(err)
 	}
 
+	execCfg := engine.ExecConfig{
+		Workers: obsCfg.Workers,
+		Sink:    rt.Sink(),
+	}
+	exec := engine.NewExecutor(execCfg)
+	var pool *engine.LeasePool
+	var distState func(string) *engine.DistState
+	if *distributed {
+		pool = engine.NewLeasePool(engine.PoolOptions{
+			TTL:          *leaseTTL,
+			UnitAttempts: *unitAttempts,
+			Sink:         rt.Sink(),
+		})
+		defer pool.Close()
+		exec = engine.NewDistExecutor(execCfg, pool, engine.DistOptions{Units: *units})
+		distState = pool.SnapshotJob
+	}
+
 	q := engine.NewQueue(engine.QueueOptions{
-		Workers:     *queueWorkers,
-		MaxPending:  *maxPending,
-		MaxAttempts: *maxAttempts,
-		Exec: engine.NewExecutor(engine.ExecConfig{
-			Workers: obsCfg.Workers,
-			Sink:    rt.Sink(),
-		}),
+		Workers:      *queueWorkers,
+		MaxPending:   *maxPending,
+		MaxAttempts:  *maxAttempts,
+		Exec:         exec,
 		Checkpoint:   *checkpoint,
 		Sink:         rt.Sink(),
 		JobTimeout:   *jobTimeout,
 		StuckTimeout: *stuckTimeout,
+		DistState:    distState,
 	})
 	if *checkpoint != "" {
 		switch err := q.Restore(*checkpoint); {
@@ -96,6 +116,7 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: engine.NewServerWith(q, engine.ServerOptions{
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
+		Pool:           pool,
 	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()

@@ -1,0 +1,282 @@
+// Package api is the versioned wire contract of the sbstd campaign
+// service: every JSON body that crosses the HTTP boundary — job
+// submission and status, lease acquisition, heartbeats, result uploads,
+// the error envelope and the capabilities document — is defined here
+// and nowhere else. The server (internal/engine), the client package
+// (internal/client) and the worker loop (internal/worker) all import
+// these types, so the coordinator and a fleet of remote workers agree
+// on the schema by construction.
+//
+// Routes are served under the Prefix ("/v1"). The legacy unversioned
+// routes from the pre-coordinator sbstd remain as thin aliases that set
+// a Deprecation header; new clients should speak /v1 only. GET /v1/meta
+// serves a Meta document describing the running service's version and
+// capabilities, so a worker can refuse to join a coordinator it does
+// not understand.
+//
+// Two stringly-typed fields from the original engine API are now
+// validated enums: JobKind (the campaign a job runs) and VectorKind
+// (where its stimulus comes from). Validate rejects unknown values with
+// an error wrapping ErrUnknownKind, which the server maps to HTTP 422 —
+// a bad kind fails at submission, never mid-campaign.
+package api
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/isa"
+)
+
+// Version is the wire-contract generation this package defines, and
+// Prefix is the corresponding route prefix.
+const (
+	Version = "v1"
+	Prefix  = "/v1"
+)
+
+// ErrUnknownKind marks validation failures caused by an unrecognized
+// JobKind or VectorKind. The server answers these with 422
+// (unprocessable) instead of the generic 400, so clients can tell a
+// schema mismatch from a malformed body.
+var ErrUnknownKind = errors.New("api: unknown kind")
+
+// JobKind selects the campaign a job runs.
+type JobKind string
+
+// The campaign kinds the executor understands. They mirror the paper's
+// evaluation: plain stuck-at fault simulation, the n-detect quality
+// variant, the bounded sequential-ATPG baseline, and the composite
+// experiment comparing a self-test program against raw BIST.
+const (
+	JobFaultSim   JobKind = "fault_sim"
+	JobNDetect    JobKind = "n_detect"
+	JobSeqATPG    JobKind = "seq_atpg"
+	JobExperiment JobKind = "experiment"
+)
+
+// JobKinds lists every valid kind, in a fixed order (meta document,
+// diagnostics).
+func JobKinds() []JobKind {
+	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment}
+}
+
+// Valid reports whether k is a known campaign kind.
+func (k JobKind) Valid() bool {
+	switch k {
+	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment:
+		return true
+	}
+	return false
+}
+
+// VectorKind selects where a job's stimulus stream comes from.
+type VectorKind string
+
+// The stimulus sources: raw 17-bit LFSR vectors, an inline self-test
+// program in assembler syntax (looped through the template
+// architecture), or the metrics-driven generated program.
+const (
+	VecBIST     VectorKind = "bist"
+	VecProgram  VectorKind = "program"
+	VecSelfTest VectorKind = "selftest"
+)
+
+// VectorKinds lists every valid stimulus source, in a fixed order.
+func VectorKinds() []VectorKind {
+	return []VectorKind{VecBIST, VecProgram, VecSelfTest}
+}
+
+// Valid reports whether k is a known stimulus source.
+func (k VectorKind) Valid() bool {
+	switch k {
+	case VecBIST, VecProgram, VecSelfTest:
+		return true
+	}
+	return false
+}
+
+// VectorSource describes where a job's stimulus stream comes from.
+type VectorSource struct {
+	// Kind is the stimulus source (see VectorKind).
+	Kind VectorKind `json:"kind"`
+	// Count is the vector count for VecBIST.
+	Count int `json:"count,omitempty"`
+	// Seed seeds the LFSRs (vector generation for VecBIST, template
+	// expansion for VecProgram/VecSelfTest).
+	Seed int64 `json:"seed,omitempty"`
+	// Program is the assembler source for VecProgram.
+	Program string `json:"program,omitempty"`
+	// Iterations is the loop count for VecProgram/VecSelfTest expansion.
+	Iterations int `json:"iterations,omitempty"`
+	// CTrials and OGoodRuns size the metrics engine behind VecSelfTest
+	// generation; zero selects fast defaults.
+	CTrials   int `json:"c_trials,omitempty"`
+	OGoodRuns int `json:"o_good_runs,omitempty"`
+}
+
+// JobSpec is the typed request submitted to the queue (the
+// POST /v1/jobs body).
+type JobSpec struct {
+	Kind JobKind `json:"kind"`
+	// Vectors is the stimulus source for fault_sim, n_detect and
+	// experiment jobs; seq_atpg generates its own tests.
+	Vectors VectorSource `json:"vectors,omitempty"`
+	// Workers is the fault-simulation shard count (0 = all cores,
+	// 1 = exact serial path). On a coordinator this bounds each work
+	// unit's local shard count instead.
+	Workers int `json:"workers,omitempty"`
+	// NDetect is the per-fault detection target for n_detect jobs
+	// (default 5).
+	NDetect int `json:"n_detect,omitempty"`
+	// SegmentLen overrides the simulator's drop/repack segment length.
+	SegmentLen int `json:"segment_len,omitempty"`
+	// Frames, SampleEvery and MaxBacktracks configure seq_atpg jobs.
+	Frames        int `json:"frames,omitempty"`
+	SampleEvery   int `json:"sample_every,omitempty"`
+	MaxBacktracks int `json:"max_backtracks,omitempty"`
+	// DeadlineSec bounds the job's wall time: the executor's context is
+	// cancelled that many seconds after the job starts and the job fails
+	// with a deadline error (no retry — a rerun would only time out
+	// again). Zero inherits the queue's JobTimeout, if any.
+	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+}
+
+// Validate rejects specs the executor could not run, so the server can
+// fail submission instead of failing the job later. Unrecognized
+// JobKind or VectorKind values wrap ErrUnknownKind (HTTP 422); every
+// other violation is a plain validation error (HTTP 400).
+func (s *JobSpec) Validate() error {
+	switch s.Kind {
+	case JobFaultSim, JobNDetect, JobExperiment:
+		switch s.Vectors.Kind {
+		case VecBIST:
+			if s.Vectors.Count <= 0 {
+				return fmt.Errorf("api: %s job with bist vectors needs count > 0", s.Kind)
+			}
+		case VecProgram:
+			if s.Vectors.Program == "" {
+				return fmt.Errorf("api: %s job with program vectors needs source", s.Kind)
+			}
+			if _, err := isa.Assemble(s.Vectors.Program); err != nil {
+				return fmt.Errorf("api: bad program: %w", err)
+			}
+		case VecSelfTest:
+			// Generated program; all fields optional.
+		default:
+			return fmt.Errorf("%w: vector source %q (want one of %v)", ErrUnknownKind, s.Vectors.Kind, VectorKinds())
+		}
+	case JobSeqATPG:
+		if s.Frames < 0 || s.SampleEvery < 0 || s.MaxBacktracks < 0 {
+			return fmt.Errorf("api: negative seq_atpg bounds")
+		}
+	default:
+		return fmt.Errorf("%w: job kind %q (want one of %v)", ErrUnknownKind, s.Kind, JobKinds())
+	}
+	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 || s.DeadlineSec < 0 {
+		return fmt.Errorf("api: negative option")
+	}
+	return nil
+}
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Lifecycle: queued → running → completed | failed. A forced drain or a
+// recoverable worker panic moves a running job back to queued so a
+// checkpoint restore re-runs it. The full lifecycle, including how each
+// state answers GET /v1/jobs/{id}/result, is documented in docs/API.md.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobCompleted JobState = "completed"
+	JobFailed    JobState = "failed"
+)
+
+// Progress is a live campaign snapshot, updated by the executor at
+// segment boundaries (fault simulation), per targeted fault (ATPG), or
+// per worker heartbeat (distributed campaigns).
+type Progress struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	Detected  int     `json:"detected,omitempty"`
+	Remaining int     `json:"remaining,omitempty"`
+	Coverage  float64 `json:"coverage,omitempty"`
+}
+
+// JobResult is a completed campaign's headline numbers.
+type JobResult struct {
+	Faults   int     `json:"faults,omitempty"`
+	Detected int     `json:"detected,omitempty"`
+	Cycles   int     `json:"cycles,omitempty"`
+	Coverage float64 `json:"coverage"`
+	// NDetect results.
+	NDetect         int     `json:"n_detect,omitempty"`
+	NDetectCoverage float64 `json:"n_detect_coverage,omitempty"`
+	// Sequential-ATPG results.
+	TestsFound int `json:"tests_found,omitempty"`
+	Untestable int `json:"untestable,omitempty"`
+	Aborted    int `json:"aborted,omitempty"`
+	// Sub holds named sub-campaign results for experiment jobs.
+	Sub map[string]*JobResult `json:"sub,omitempty"`
+	// Seconds is the job's wall time.
+	Seconds float64 `json:"seconds,omitempty"`
+}
+
+// DistState is the distribution snapshot of a coordinator job, recorded
+// in checkpoints (schema v3) so a post-mortem can see how far the fleet
+// had carried a campaign: how many work units the fault list was split
+// into, which were already merged, and each unit's spent attempt count.
+// Unit results themselves are not persisted — a restored job re-plans
+// its units and the fleet re-runs them (deterministically, so the
+// re-run merges to the identical result).
+type DistState struct {
+	Units     int   `json:"units"`
+	Completed []int `json:"completed,omitempty"`
+	Attempts  []int `json:"attempts,omitempty"`
+}
+
+// Job is one queue entry as served by GET /v1/jobs/{id}.
+type Job struct {
+	ID       string     `json:"id"`
+	Spec     JobSpec    `json:"spec"`
+	State    JobState   `json:"state"`
+	Attempts int        `json:"attempts,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Progress Progress   `json:"progress"`
+	Result   *JobResult `json:"result,omitempty"`
+	// Dist is the distribution snapshot for coordinator jobs
+	// (checkpoint v3); nil for locally executed jobs.
+	Dist *DistState `json:"dist,omitempty"`
+}
+
+// JobList is the GET /v1/jobs response.
+type JobList struct {
+	Jobs []Job `json:"jobs"`
+}
+
+// Health is the GET /v1/healthz response: liveness plus queue occupancy
+// by state, and (coordinator mode) lease-pool occupancy.
+type Health struct {
+	Status string           `json:"status"`
+	Jobs   map[JobState]int `json:"jobs"`
+	Leases *LeaseCounts     `json:"leases,omitempty"`
+}
+
+// Meta is the GET /v1/meta document: the service's identity, the wire
+// versions it speaks, and the capabilities behind them. A worker checks
+// Versions before joining a coordinator.
+type Meta struct {
+	Service     string       `json:"service"`
+	APIVersion  string       `json:"api_version"`
+	Versions    []string     `json:"versions"`
+	JobKinds    []JobKind    `json:"job_kinds"`
+	VectorKinds []VectorKind `json:"vector_kinds"`
+	// Capabilities names the optional surfaces this instance serves:
+	// "jobs" always; "leases" when running as a coordinator.
+	Capabilities []string `json:"capabilities"`
+}

@@ -1,0 +1,87 @@
+package api
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Error codes. Codes are stable contract; messages are for humans and
+// may change freely.
+const (
+	CodeBadRequest     = "bad_request"      // malformed body or invalid spec (400)
+	CodeUnknownKind    = "unknown_kind"     // unrecognized JobKind/VectorKind (422)
+	CodeNotFound       = "not_found"        // unknown job, lease or route (404)
+	CodeUnavailable    = "unavailable"      // draining, queue full, shed load (503)
+	CodeTimeout        = "timeout"          // request handler deadline expired (503)
+	CodeJobNotFinished = "job_not_finished" // result requested before a terminal state (409)
+	CodeJobFailed      = "job_failed"       // result of a terminally failed job (200)
+	CodeLeaseGone      = "lease_gone"       // lease expired, reassigned or job withdrawn (409)
+	CodeBadResult      = "bad_result"       // result upload failed validation (422)
+	CodeInternal       = "internal"         // unexpected server-side failure (500)
+)
+
+// Error is the uniform error envelope every /v1 route answers failures
+// with: a stable machine-readable code, a human-readable message, and a
+// retryable flag telling the client whether the same request can
+// succeed later (back-pressure, a job still running, a lost lease)
+// or never will (validation failures, unknown IDs).
+//
+// Legacy mirrors Message under the pre-/v1 "error" key so clients of
+// the deprecated unversioned routes keep parsing; it carries no extra
+// information and will disappear with those routes.
+type Error struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Retryable bool   `json:"retryable"`
+	Legacy    string `json:"error,omitempty"`
+	// Detail carries structured context for some codes (e.g. the live
+	// state and progress on job_not_finished).
+	Detail map[string]any `json:"detail,omitempty"`
+}
+
+// Error implements the error interface, so a decoded envelope can flow
+// through ordinary error paths (and errors.As can recover it).
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s: %s (retryable=%v)", e.Code, e.Message, e.Retryable)
+}
+
+// Errf builds an envelope with a formatted message. The Legacy mirror
+// is filled in automatically.
+func Errf(code string, retryable bool, format string, args ...any) *Error {
+	msg := fmt.Sprintf(format, args...)
+	return &Error{Code: code, Message: msg, Retryable: retryable, Legacy: msg}
+}
+
+// HTTPStatus maps an envelope code to its canonical HTTP status.
+func HTTPStatus(code string) int {
+	switch code {
+	case CodeBadRequest:
+		return http.StatusBadRequest
+	case CodeUnknownKind, CodeBadResult:
+		return http.StatusUnprocessableEntity
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeUnavailable, CodeTimeout:
+		return http.StatusServiceUnavailable
+	case CodeJobNotFinished, CodeLeaseGone:
+		return http.StatusConflict
+	case CodeJobFailed:
+		return http.StatusOK
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// IsRetryable reports whether err is (or wraps) an envelope marked
+// retryable — the client-side test for "back off and try again".
+func IsRetryable(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Retryable
+}
+
+// AsError unwraps err into an *Error envelope (errors.As sugar so
+// callers can switch on Code without importing errors).
+func AsError(err error, target **Error) bool {
+	return errors.As(err, target)
+}

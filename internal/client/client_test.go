@@ -1,0 +1,155 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func fastOpts() Options {
+	return Options{RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond, MaxRetries: 4}
+}
+
+// TestRetryOn503: transient server trouble is absorbed by the backoff
+// loop and the call eventually succeeds.
+func TestRetryOn503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/meta" {
+			t.Errorf("path %s, want /v1/meta", r.URL.Path)
+		}
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.Errf(api.CodeUnavailable, true, "warming up"))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.Meta{Service: "sbstd", APIVersion: api.Version})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts())
+	m, err := c.Meta(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Service != "sbstd" || calls.Load() != 3 {
+		t.Fatalf("meta %+v after %d calls, want success on the 3rd", m, calls.Load())
+	}
+}
+
+// TestNoRetryOnContractErrors: 4xx answers — even retryable 409
+// envelopes like job_not_finished — surface immediately; polling policy
+// belongs to the caller, not the transport.
+func TestNoRetryOnContractErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusConflict)
+		_ = json.NewEncoder(w).Encode(api.Errf(api.CodeJobNotFinished, true, "job job-1 is running"))
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, fastOpts())
+	_, err := c.Result(context.Background(), "job-1")
+	var ae *api.Error
+	if !api.AsError(err, &ae) || ae.Code != api.CodeJobNotFinished || !ae.Retryable {
+		t.Fatalf("409 surfaced as %v, want job_not_finished envelope", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls for a contract error, want exactly 1", calls.Load())
+	}
+}
+
+// TestUnknownKindSurfaces: the 422 envelope keeps its code across the
+// wire so tools can distinguish contract skew from bad input.
+func TestUnknownKindSurfaces(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		_ = json.NewEncoder(w).Encode(api.Errf(api.CodeUnknownKind, false, "api: unknown kind: job kind \"warp\""))
+	}))
+	defer srv.Close()
+	_, err := New(srv.URL, fastOpts()).SubmitJob(context.Background(), api.JobSpec{Kind: "warp"})
+	var ae *api.Error
+	if !api.AsError(err, &ae) || ae.Code != api.CodeUnknownKind || ae.Retryable {
+		t.Fatalf("422 surfaced as %v", err)
+	}
+}
+
+// TestAcquireLease204: "no work right now" is a nil lease, not an error.
+func TestAcquireLease204(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	defer srv.Close()
+	l, err := New(srv.URL, fastOpts()).AcquireLease(context.Background(), "w1")
+	if err != nil || l != nil {
+		t.Fatalf("204 acquire = (%+v, %v), want (nil, nil)", l, err)
+	}
+}
+
+// TestTransportErrorsRetryThenFail: a dead coordinator costs
+// 1+MaxRetries attempts, then the last transport error surfaces.
+func TestTransportErrorsRetryThenFail(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // nothing listens anymore
+
+	c := New(srv.URL, Options{RetryBase: time.Millisecond, RetryMax: time.Millisecond, MaxRetries: 2})
+	start := time.Now()
+	_, err := c.Health(context.Background())
+	if err == nil {
+		t.Fatal("call against a closed server succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retry loop ran far past its budget")
+	}
+}
+
+// TestWaitResultPolls: WaitResult absorbs job_not_finished conflicts
+// and returns the result once the job lands.
+func TestWaitResultPolls(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(api.Errf(api.CodeJobNotFinished, true, "still running"))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.JobResult{Coverage: 0.9, Faults: 10})
+	}))
+	defer srv.Close()
+	res, err := New(srv.URL, fastOpts()).WaitResult(context.Background(), "job-1", time.Millisecond)
+	if err != nil || res.Coverage != 0.9 {
+		t.Fatalf("WaitResult = (%+v, %v)", res, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d polls, want 3", calls.Load())
+	}
+}
+
+// TestRetryAfterHonored: a Retry-After hint stretches the backoff.
+func TestRetryAfterHonored(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.Errf(api.CodeUnavailable, true, "busy"))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	}))
+	defer srv.Close()
+	start := time.Now()
+	if _, err := New(srv.URL, fastOpts()).Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 900*time.Millisecond {
+		t.Fatalf("second attempt after %v, want the Retry-After second honored", d)
+	}
+}

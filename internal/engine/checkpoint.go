@@ -14,8 +14,10 @@ import (
 
 // checkpointVersion guards the on-disk schema; bump on incompatible
 // changes so a stale file fails loudly instead of resuming garbage.
-// Version 2 added the crc32c integrity trailer.
-const checkpointVersion = 2
+// Version 2 added the crc32c integrity trailer; version 3 records each
+// running job's distributed lease state (job.dist) and moves the wire
+// schema to internal/api.
+const checkpointVersion = 3
 
 // crcPrefix introduces the integrity trailer: the final line of a
 // checkpoint is "#crc32c=%08x\n" over every byte before it. JSON has no
@@ -136,8 +138,13 @@ func (q *Queue) Checkpoint() error {
 	for _, id := range q.order {
 		j := snapshotJob(q.jobs[id])
 		if j.State == JobRunning {
-			// A running job serialized mid-flight resumes from scratch.
+			// A running job serialized mid-flight resumes from scratch
+			// (unit results are not persisted), but its lease-pool layout
+			// is recorded so operators can see how far the fleet got.
 			j.State = JobQueued
+			if q.opts.DistState != nil {
+				j.Dist = q.opts.DistState(j.ID)
+			}
 		}
 		cp.Jobs = append(cp.Jobs, j)
 	}
@@ -268,6 +275,9 @@ func (q *Queue) Restore(path string) error {
 		if j.State == JobRunning {
 			j.State = JobQueued
 		}
+		// Restored jobs re-plan their units on the next run; a stale
+		// dist snapshot would misreport the new campaign.
+		j.Dist = nil
 		q.jobs[j.ID] = &j
 		q.order = append(q.order, j.ID)
 		if j.State == JobQueued {

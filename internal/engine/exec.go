@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/api"
 	"repro/internal/bist"
 	"repro/internal/chaos"
 	"repro/internal/dspgate"
@@ -47,6 +48,27 @@ func sharedCore() (*dspgate.Core, []fault.Fault, error) {
 	return coreVal, coreFaults, coreErr
 }
 
+// SharedCore exposes the process-wide campaign fixture: the gate-level
+// DSP core and its collapsed fault list, built once on first use. The
+// worker binary runs its units against this exact fixture, and the
+// distributed end-to-end tests use it as the serial oracle, so both
+// sides of the lease protocol agree on fault indices by construction.
+func SharedCore() (*dspgate.Core, []fault.Fault, error) { return sharedCore() }
+
+// specNDetect resolves a spec's effective n-detect target: zero for
+// plain campaigns, the spec's value (defaulted to the paper's n=5)
+// for n_detect campaigns. Coordinator and workers must share this
+// defaulting for unit results to merge bit-identically.
+func specNDetect(spec JobSpec) int {
+	if spec.Kind != JobNDetect {
+		return 0
+	}
+	if spec.NDetect < 2 {
+		return 5
+	}
+	return spec.NDetect
+}
+
 // NewExecutor returns the production Executor: it runs every job kind
 // against the gate-level DSP core, sharding fault simulation through
 // Simulate.
@@ -85,9 +107,9 @@ func NewExecutor(cfg ExecConfig) Executor {
 // resolveVectors expands a VectorSource into the stimulus stream.
 func resolveVectors(src VectorSource) (fault.Vectors, error) {
 	switch src.Kind {
-	case "bist":
+	case api.VecBIST:
 		return bist.PseudorandomVectors(src.Count, uint64(src.Seed)), nil
-	case "program":
+	case api.VecProgram:
 		prog, err := isa.Assemble(src.Program)
 		if err != nil {
 			return nil, err
@@ -98,7 +120,7 @@ func resolveVectors(src VectorSource) (fault.Vectors, error) {
 		}
 		return selftest.Expand(&selftest.Program{Loop: prog},
 			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
-	case "selftest":
+	case api.VecSelfTest:
 		prog := generatedProgram(src)
 		iters := src.Iterations
 		if iters <= 0 {
@@ -136,13 +158,7 @@ func generatedProgram(src VectorSource) *selftest.Program {
 func runFaultSim(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults []fault.Fault,
 	spec JobSpec, vecs fault.Vectors, update func(Progress)) (*JobResult, error) {
 
-	ndet := 0
-	if spec.Kind == JobNDetect {
-		ndet = spec.NDetect
-		if ndet < 2 {
-			ndet = 5
-		}
-	}
+	ndet := specNDetect(spec)
 	workers := spec.Workers
 	if workers == 0 {
 		workers = cfg.Workers

@@ -1,162 +1,59 @@
 package engine
 
 import (
-	"fmt"
-	"time"
-
-	"repro/internal/isa"
+	"repro/internal/api"
 )
 
-// JobKind selects the campaign a job runs.
-type JobKind string
+// The job wire types live in internal/api — the single versioned
+// contract shared by the server, the client package and the worker
+// fleet. The engine aliases them so the queue, executor and checkpoint
+// code (and their long-standing callers) keep reading naturally;
+// nothing here defines schema.
 
-// The campaign kinds the executor understands. They mirror the paper's
-// evaluation: plain stuck-at fault simulation, the n-detect quality
-// variant, the bounded sequential-ATPG baseline, and the composite
-// experiment comparing a self-test program against raw BIST.
+// JobKind selects the campaign a job runs (validated enum; see
+// api.JobKind).
+type JobKind = api.JobKind
+
+// The campaign kinds the executor understands.
 const (
-	JobFaultSim   JobKind = "fault_sim"
-	JobNDetect    JobKind = "n_detect"
-	JobSeqATPG    JobKind = "seq_atpg"
-	JobExperiment JobKind = "experiment"
+	JobFaultSim   = api.JobFaultSim
+	JobNDetect    = api.JobNDetect
+	JobSeqATPG    = api.JobSeqATPG
+	JobExperiment = api.JobExperiment
 )
 
-// VectorSource describes where a job's stimulus stream comes from.
-type VectorSource struct {
-	// Kind is "bist" (raw 17-bit LFSR vectors), "program" (an inline
-	// self-test program in assembler syntax, looped through the template
-	// architecture) or "selftest" (the metrics-driven generated program).
-	Kind string `json:"kind"`
-	// Count is the vector count for "bist".
-	Count int `json:"count,omitempty"`
-	// Seed seeds the LFSRs (vector generation for "bist", template
-	// expansion for "program"/"selftest").
-	Seed int64 `json:"seed,omitempty"`
-	// Program is the assembler source for "program".
-	Program string `json:"program,omitempty"`
-	// Iterations is the loop count for "program"/"selftest" expansion.
-	Iterations int `json:"iterations,omitempty"`
-	// CTrials and OGoodRuns size the metrics engine behind "selftest"
-	// generation; zero selects fast defaults.
-	CTrials   int `json:"c_trials,omitempty"`
-	OGoodRuns int `json:"o_good_runs,omitempty"`
-}
+// VectorSource describes where a job's stimulus stream comes from; its
+// Kind field is the validated api.VectorKind enum.
+type VectorSource = api.VectorSource
 
-// JobSpec is the typed request submitted to the queue (and the sbstd
-// POST /jobs body).
-type JobSpec struct {
-	Kind JobKind `json:"kind"`
-	// Vectors is the stimulus source for fault_sim, n_detect and
-	// experiment jobs; seq_atpg generates its own tests.
-	Vectors VectorSource `json:"vectors,omitempty"`
-	// Workers is the fault-simulation shard count (0 = all cores,
-	// 1 = exact serial path).
-	Workers int `json:"workers,omitempty"`
-	// NDetect is the per-fault detection target for n_detect jobs
-	// (default 5).
-	NDetect int `json:"n_detect,omitempty"`
-	// SegmentLen overrides the simulator's drop/repack segment length.
-	SegmentLen int `json:"segment_len,omitempty"`
-	// Frames, SampleEvery and MaxBacktracks configure seq_atpg jobs.
-	Frames        int `json:"frames,omitempty"`
-	SampleEvery   int `json:"sample_every,omitempty"`
-	MaxBacktracks int `json:"max_backtracks,omitempty"`
-	// DeadlineSec bounds the job's wall time: the executor's context is
-	// cancelled that many seconds after the job starts and the job fails
-	// with a deadline error (no retry — a rerun would only time out
-	// again). Zero inherits the queue's JobTimeout, if any.
-	DeadlineSec float64 `json:"deadline_sec,omitempty"`
-}
+// JobSpec is the typed request submitted to the queue (the
+// POST /v1/jobs body). Validate rejects unknown kinds with
+// api.ErrUnknownKind so the server can answer 422 at submission.
+type JobSpec = api.JobSpec
 
-// Validate rejects specs the executor could not run, so the server can
-// answer 400 at submission instead of failing the job later.
-func (s *JobSpec) Validate() error {
-	switch s.Kind {
-	case JobFaultSim, JobNDetect, JobExperiment:
-		switch s.Vectors.Kind {
-		case "bist":
-			if s.Vectors.Count <= 0 {
-				return fmt.Errorf("engine: %s job with bist vectors needs count > 0", s.Kind)
-			}
-		case "program":
-			if s.Vectors.Program == "" {
-				return fmt.Errorf("engine: %s job with program vectors needs source", s.Kind)
-			}
-			if _, err := isa.Assemble(s.Vectors.Program); err != nil {
-				return fmt.Errorf("engine: bad program: %w", err)
-			}
-		case "selftest":
-			// Generated program; all fields optional.
-		default:
-			return fmt.Errorf("engine: unknown vector source %q", s.Vectors.Kind)
-		}
-	case JobSeqATPG:
-		if s.Frames < 0 || s.SampleEvery < 0 || s.MaxBacktracks < 0 {
-			return fmt.Errorf("engine: negative seq_atpg bounds")
-		}
-	default:
-		return fmt.Errorf("engine: unknown job kind %q", s.Kind)
-	}
-	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 || s.DeadlineSec < 0 {
-		return fmt.Errorf("engine: negative option")
-	}
-	return nil
-}
+// JobState is a job's lifecycle position:
+// queued → running → completed | failed.
+type JobState = api.JobState
 
-// JobState is a job's lifecycle position.
-type JobState string
-
-// Lifecycle: queued → running → completed | failed. A forced drain or a
-// recoverable worker panic moves a running job back to queued so a
-// checkpoint restore re-runs it.
+// The lifecycle states.
 const (
-	JobQueued    JobState = "queued"
-	JobRunning   JobState = "running"
-	JobCompleted JobState = "completed"
-	JobFailed    JobState = "failed"
+	JobQueued    = api.JobQueued
+	JobRunning   = api.JobRunning
+	JobCompleted = api.JobCompleted
+	JobFailed    = api.JobFailed
 )
 
-// Progress is a live campaign snapshot, updated by the executor at
-// segment boundaries (fault simulation) or per targeted fault (ATPG).
-type Progress struct {
-	Done      int     `json:"done"`
-	Total     int     `json:"total"`
-	Detected  int     `json:"detected,omitempty"`
-	Remaining int     `json:"remaining,omitempty"`
-	Coverage  float64 `json:"coverage,omitempty"`
-}
+// Progress is a live campaign snapshot.
+type Progress = api.Progress
 
 // JobResult is a completed campaign's headline numbers.
-type JobResult struct {
-	Faults   int     `json:"faults,omitempty"`
-	Detected int     `json:"detected,omitempty"`
-	Cycles   int     `json:"cycles,omitempty"`
-	Coverage float64 `json:"coverage"`
-	// NDetect results.
-	NDetect         int     `json:"n_detect,omitempty"`
-	NDetectCoverage float64 `json:"n_detect_coverage,omitempty"`
-	// Sequential-ATPG results.
-	TestsFound int `json:"tests_found,omitempty"`
-	Untestable int `json:"untestable,omitempty"`
-	Aborted    int `json:"aborted,omitempty"`
-	// Sub holds named sub-campaign results for experiment jobs.
-	Sub map[string]*JobResult `json:"sub,omitempty"`
-	// Seconds is the job's wall time.
-	Seconds float64 `json:"seconds,omitempty"`
-}
+type JobResult = api.JobResult
 
 // Job is one queue entry. The queue hands out value copies; the Result
 // pointer is written once before the job reaches a terminal state and
 // never mutated afterwards.
-type Job struct {
-	ID       string     `json:"id"`
-	Spec     JobSpec    `json:"spec"`
-	State    JobState   `json:"state"`
-	Attempts int        `json:"attempts,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Progress Progress   `json:"progress"`
-	Result   *JobResult `json:"result,omitempty"`
-}
+type Job = api.Job
+
+// DistState is a running job's distributed execution snapshot (unit
+// completion and attempt counts), filled by QueueOptions.DistState.
+type DistState = api.DistState

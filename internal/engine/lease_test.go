@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+func poolSpec() JobSpec {
+	return JobSpec{Kind: JobFaultSim, Vectors: VectorSource{Kind: api.VecBIST, Count: 16, Seed: 1}}
+}
+
+// acquireNow polls Acquire past backoff gates until a lease is granted.
+func acquireNow(t *testing.T, p *LeasePool, worker string) *api.Lease {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		l, err := p.Acquire(api.LeaseRequest{WorkerID: worker})
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if l != nil {
+			return l
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("no lease granted within 5s")
+	return nil
+}
+
+// identityResult packs a unit upload whose DetectedAt values equal the
+// global fault indices they cover — any mis-merge (wrong slice, wrong
+// offset) becomes visible in the merged array.
+func identityResult(worker string, u api.WorkUnit, cycles int) *api.UnitResult {
+	det := make([]int32, u.FaultHi-u.FaultLo)
+	for i := range det {
+		det[i] = int32(u.FaultLo + i)
+	}
+	return api.NewUnitResult(worker, det, nil, cycles, 0.1)
+}
+
+// TestUnitRangePartition: the shard planner tiles [0,total) exactly —
+// the same arithmetic Simulate uses, so worker units and in-process
+// shards agree on fault slices by construction.
+func TestUnitRangePartition(t *testing.T) {
+	for _, tc := range []struct{ n, total int }{
+		{1, 10}, {3, 10}, {7, 9320}, {16, 9320}, {10, 10},
+	} {
+		prev := 0
+		for i := 0; i < tc.n; i++ {
+			lo, hi := unitRange(i, tc.n, tc.total)
+			if lo != prev {
+				t.Fatalf("unitRange(%d,%d,%d): lo=%d, want %d (gap or overlap)", i, tc.n, tc.total, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("unitRange(%d,%d,%d): hi=%d < lo=%d", i, tc.n, tc.total, hi, lo)
+			}
+			if want := i * tc.total / tc.n; lo != want {
+				t.Fatalf("planner drifted from Simulate arithmetic: lo=%d want %d", lo, want)
+			}
+			prev = hi
+		}
+		if prev != tc.total {
+			t.Fatalf("unitRange(%d units, %d faults) covers [0,%d)", tc.n, tc.total, prev)
+		}
+	}
+}
+
+// TestLeasePoolLifecycle drives a 3-unit job through grant → upload →
+// merge and checks the merged bitmap against the identity pattern.
+func TestLeasePoolLifecycle(t *testing.T) {
+	p := NewLeasePool(PoolOptions{TTL: time.Second})
+	defer p.Close()
+
+	h, err := p.Register("job-1", poolSpec(), 10, 3, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := p.Counts(); c.Pending != 3 || c.Leased != 0 || c.Done != 0 {
+		t.Fatalf("fresh counts = %+v", c)
+	}
+
+	var leases []*api.Lease
+	wantRanges := [][2]int{{0, 3}, {3, 6}, {6, 10}}
+	for i := 0; i < 3; i++ {
+		l := acquireNow(t, p, "w1")
+		if l.Unit.FaultLo != wantRanges[i][0] || l.Unit.FaultHi != wantRanges[i][1] {
+			t.Fatalf("unit %d range [%d,%d), want %v", i, l.Unit.FaultLo, l.Unit.FaultHi, wantRanges[i])
+		}
+		if l.Unit.TotalFaults != 10 || l.Unit.Units != 3 || l.Attempt != 0 {
+			t.Fatalf("lease %d malformed: %+v", i, l)
+		}
+		leases = append(leases, l)
+	}
+	if extra, err := p.Acquire(api.LeaseRequest{WorkerID: "w2"}); err != nil || extra != nil {
+		t.Fatalf("acquire with all units leased = (%v, %v), want (nil, nil)", extra, err)
+	}
+
+	// Complete two units, then check the live distribution snapshot.
+	for _, l := range leases[:2] {
+		if err := p.Complete(l.ID, identityResult("w1", l.Unit, 16)); err != nil {
+			t.Fatalf("complete %s: %v", l.ID, err)
+		}
+	}
+	st := p.SnapshotJob("job-1")
+	if st == nil || st.Units != 3 || len(st.Completed) != 2 {
+		t.Fatalf("mid-flight snapshot = %+v", st)
+	}
+	if err := p.Complete(leases[2].ID, identityResult("w1", leases[2].Unit, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	merge, err := h.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merge.Cycles != 16 || len(merge.DetectedAt) != 10 || merge.Detections != nil {
+		t.Fatalf("merge = cycles %d, %d faults, detections %v", merge.Cycles, len(merge.DetectedAt), merge.Detections)
+	}
+	for i, v := range merge.DetectedAt {
+		if v != int32(i) {
+			t.Fatalf("merged DetectedAt[%d] = %d, want %d (mis-merged slice)", i, v, i)
+		}
+	}
+	if st := p.SnapshotJob("job-1"); st != nil {
+		t.Fatalf("job still registered after Wait: %+v", st)
+	}
+}
+
+// TestLeaseExpiryRequeues: a worker that stops heartbeating loses its
+// lease; the unit is re-offered with an attempt charge and late calls on
+// the dead lease answer lease_gone.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	p := NewLeasePool(PoolOptions{TTL: 30 * time.Millisecond, RetryBase: 2 * time.Millisecond, RetryMax: 4 * time.Millisecond})
+	defer p.Close()
+	h, err := p.Register("job-1", poolSpec(), 4, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dead := acquireNow(t, p, "doomed")
+	time.Sleep(120 * time.Millisecond) // several scanner passes past the TTL
+
+	if _, err := p.Heartbeat(dead.ID, api.Heartbeat{WorkerID: "doomed"}); !isCode(err, api.CodeLeaseGone) {
+		t.Fatalf("heartbeat on expired lease = %v, want lease_gone", err)
+	}
+	if err := p.Complete(dead.ID, identityResult("doomed", dead.Unit, 16)); !isCode(err, api.CodeLeaseGone) {
+		t.Fatalf("complete on expired lease = %v, want lease_gone", err)
+	}
+
+	fresh := acquireNow(t, p, "w2")
+	if fresh.ID == dead.ID || fresh.Attempt != 1 {
+		t.Fatalf("reissued lease = %+v, want new ID with attempt 1", fresh)
+	}
+	if err := p.Complete(fresh.ID, identityResult("w2", fresh.Unit, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatalf("campaign should survive one lost lease: %v", err)
+	}
+}
+
+// TestLeaseBadResultRequeues: corrupted or mis-shaped uploads are
+// rejected with bad_result and cost the unit a retry — never a wrong
+// campaign.
+func TestLeaseBadResultRequeues(t *testing.T) {
+	p := NewLeasePool(PoolOptions{TTL: time.Second, UnitAttempts: 5, RetryBase: 2 * time.Millisecond, RetryMax: 4 * time.Millisecond})
+	defer p.Close()
+	h, err := p.Register("job-1", poolSpec(), 6, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload 1: checksum flipped after packing.
+	l := acquireNow(t, p, "w1")
+	res := identityResult("w1", l.Unit, 16)
+	res.Checksum ^= 1
+	if err := p.Complete(l.ID, res); !isCode(err, api.CodeBadResult) {
+		t.Fatalf("checksum-corrupt upload = %v, want bad_result", err)
+	}
+
+	// Upload 2: wrong slice width.
+	l = acquireNow(t, p, "w1")
+	short := api.NewUnitResult("w1", []int32{1, 2, 3}, nil, 16, 0)
+	if err := p.Complete(l.ID, short); !isCode(err, api.CodeBadResult) {
+		t.Fatalf("short upload = %v, want bad_result", err)
+	}
+
+	// Upload 3: detections bitmap on a non-n-detect campaign.
+	l = acquireNow(t, p, "w1")
+	wide := api.NewUnitResult("w1", make([]int32, 6), make([]int32, 6), 16, 0)
+	if err := p.Complete(l.ID, wide); !isCode(err, api.CodeBadResult) {
+		t.Fatalf("mismatched-mode upload = %v, want bad_result", err)
+	}
+
+	// A clean upload within the attempt budget still lands the campaign.
+	l = acquireNow(t, p, "w1")
+	if l.Attempt != 3 {
+		t.Fatalf("attempt = %d after three rejected uploads, want 3", l.Attempt)
+	}
+	if err := p.Complete(l.ID, identityResult("w1", l.Unit, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaseAttemptsExhaustFailJob: a unit that keeps failing consumes
+// its budget and fails the whole job with a terminal (non-retryable at
+// the lease level) error.
+func TestLeaseAttemptsExhaustFailJob(t *testing.T) {
+	p := NewLeasePool(PoolOptions{TTL: time.Second, UnitAttempts: 2, RetryBase: 2 * time.Millisecond, RetryMax: 4 * time.Millisecond})
+	defer p.Close()
+	h, err := p.Register("job-1", poolSpec(), 4, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		l := acquireNow(t, p, "w1")
+		if err := p.Fail(l.ID, api.LeaseFailure{WorkerID: "w1", Reason: "simulated crash"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = h.Wait(context.Background())
+	if err == nil || api.IsRetryable(err) {
+		t.Fatalf("exhausted job Wait = %v, want terminal error", err)
+	}
+	var ae *api.Error
+	if !errors.As(err, &ae) || ae.Code != api.CodeInternal {
+		t.Fatalf("exhausted job error = %v, want internal envelope", err)
+	}
+	if l, err := p.Acquire(api.LeaseRequest{WorkerID: "w1"}); err != nil || l != nil {
+		t.Fatalf("failed job still offers work: (%v, %v)", l, err)
+	}
+}
+
+// TestLeasePoolCloseAndCancel: shutdown fails waiters retryably, and a
+// cancelled executor withdraws its job so stray workers get lease_gone.
+func TestLeasePoolCloseAndCancel(t *testing.T) {
+	p := NewLeasePool(PoolOptions{TTL: time.Second})
+	h, err := p.Register("job-1", poolSpec(), 4, 2, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := acquireNow(t, p, "w1")
+	p.Close()
+	if _, err := h.Wait(context.Background()); !api.IsRetryable(err) {
+		t.Fatalf("Wait after Close = %v, want retryable", err)
+	}
+	if err := p.Complete(l.ID, identityResult("w1", l.Unit, 16)); !isCode(err, api.CodeLeaseGone) {
+		t.Fatalf("complete after Close = %v, want lease_gone", err)
+	}
+
+	p2 := NewLeasePool(PoolOptions{TTL: time.Second})
+	defer p2.Close()
+	h2, err := p2.Register("job-2", poolSpec(), 4, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := acquireNow(t, p2, "w1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h2.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Wait = %v", err)
+	}
+	if err := p2.Complete(l2.ID, identityResult("w1", l2.Unit, 16)); !isCode(err, api.CodeLeaseGone) {
+		t.Fatalf("complete after withdrawal = %v, want lease_gone", err)
+	}
+}
+
+// TestHeartbeatAggregatesProgress: worker heartbeats roll up into the
+// job-level snapshot with the frontier (minimum) cycle count, feeding
+// the queue's stuck-job watchdog.
+func TestHeartbeatAggregatesProgress(t *testing.T) {
+	var mu sync.Mutex
+	var last api.Progress
+	p := NewLeasePool(PoolOptions{TTL: time.Second})
+	defer p.Close()
+	_, err := p.Register("job-1", poolSpec(), 10, 2, 0, 0, func(pr api.Progress) {
+		mu.Lock()
+		last = pr
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l0 := acquireNow(t, p, "w1")
+	l1 := acquireNow(t, p, "w2")
+	ack, err := p.Heartbeat(l0.ID, api.Heartbeat{WorkerID: "w1",
+		Progress: api.Progress{Done: 10, Total: 16, Detected: 3, Remaining: 2}})
+	if err != nil || ack.TTLMillis <= 0 {
+		t.Fatalf("heartbeat = (%+v, %v)", ack, err)
+	}
+	if _, err := p.Heartbeat(l1.ID, api.Heartbeat{WorkerID: "w2",
+		Progress: api.Progress{Done: 4, Total: 16, Detected: 1, Remaining: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if last.Done != 4 || last.Total != 16 || last.Detected != 4 || last.Remaining != 6 {
+		t.Fatalf("aggregated progress = %+v, want frontier 4/16 with summed counts", last)
+	}
+}
+
+// isCode reports whether err is an *api.Error with the given code.
+func isCode(err error, code string) bool {
+	var ae *api.Error
+	return errors.As(err, &ae) && ae.Code == code
+}

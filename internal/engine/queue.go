@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/obs"
 )
@@ -86,6 +87,12 @@ type QueueOptions struct {
 	// StuckTimeout enables the watchdog: a running job that publishes no
 	// progress for this long is cancelled and retried. Zero disables.
 	StuckTimeout time.Duration
+
+	// DistState, when set, resolves a job's distributed execution
+	// snapshot (work-unit layout, completions, attempt counts) for
+	// checkpoints and the HTTP surface. Wire it to LeasePool.SnapshotJob
+	// when the queue runs a distributed executor.
+	DistState func(jobID string) *api.DistState
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -234,7 +241,18 @@ func (q *Queue) Get(id string) (Job, bool) {
 	if !ok {
 		return Job{}, false
 	}
-	return snapshotJob(j), true
+	snap := snapshotJob(j)
+	q.fillDistLocked(&snap)
+	return snap, true
+}
+
+// fillDistLocked attaches the live distributed-execution snapshot to a
+// running job's copy. Caller holds q.mu; the DistState hook takes only
+// the lease pool's own lock (a leaf in the lock order).
+func (q *Queue) fillDistLocked(j *Job) {
+	if q.opts.DistState != nil && j.State == JobRunning {
+		j.Dist = q.opts.DistState(j.ID)
+	}
 }
 
 // Jobs returns snapshots of every job in submission order.
@@ -243,7 +261,9 @@ func (q *Queue) Jobs() []Job {
 	defer q.mu.Unlock()
 	out := make([]Job, 0, len(q.order))
 	for _, id := range q.order {
-		out = append(out, snapshotJob(q.jobs[id]))
+		snap := snapshotJob(q.jobs[id])
+		q.fillDistLocked(&snap)
+		out = append(out, snap)
 	}
 	return out
 }
@@ -376,6 +396,7 @@ func (q *Queue) run(id string) {
 	j.Started = &now
 	j.Error = ""
 	jctx, cancel := q.jobContext(j.Spec)
+	jctx = withJobID(jctx, id)
 	rj := &runningJob{cancel: cancel}
 	rj.touch()
 	// Chaos point: a job whose context is yanked mid-flight for no

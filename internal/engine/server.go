@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/obs"
 )
@@ -17,7 +18,7 @@ var ctrServerShed = obs.Default().Counter("sbstd.shed")
 // value disables them all, preserving NewServer's original behavior.
 type ServerOptions struct {
 	// RequestTimeout bounds each request's handler time; expired
-	// requests answer 503 with a JSON error body. Zero disables.
+	// requests answer 503 with a JSON error envelope. Zero disables.
 	RequestTimeout time.Duration
 	// MaxInflight bounds concurrently served requests; excess load is
 	// shed with 503 + Retry-After instead of queueing without bound.
@@ -26,23 +27,39 @@ type ServerOptions struct {
 	// RetryAfter is the Retry-After hint on shed and queue-full
 	// responses (default 5s).
 	RetryAfter time.Duration
+	// Pool enables the distributed-campaign lease endpoints: workers
+	// pull work units from it and upload detection bitmaps back. Nil
+	// runs a jobs-only (single-process) server.
+	Pool *LeasePool
 }
 
-// Server exposes a Queue over HTTP:
+// Server exposes a Queue (and optionally a LeasePool) over the
+// versioned /v1 HTTP API:
 //
-//	POST /jobs              submit a JobSpec, 202 + the queued job
-//	GET  /jobs              list jobs in submission order
-//	GET  /jobs/{id}         one job's state and progress snapshot
-//	GET  /jobs/{id}/result  the completed result (409 until terminal)
-//	GET  /healthz           liveness + queue occupancy
+//	POST /v1/jobs                    submit a JobSpec, 202 + the queued job
+//	GET  /v1/jobs                    list jobs in submission order
+//	GET  /v1/jobs/{id}               one job's state and progress snapshot
+//	GET  /v1/jobs/{id}/result        the completed result (409 until terminal)
+//	GET  /v1/healthz                 liveness + queue and lease occupancy
+//	GET  /v1/meta                    API capabilities document
+//	POST /v1/leases                  acquire a work-unit lease (204 = no work)
+//	POST /v1/leases/{id}/heartbeat   extend a lease, report unit progress
+//	POST /v1/leases/{id}/result      upload a finished unit's bitmaps
+//	POST /v1/leases/{id}/fail        report a unit the worker could not finish
 //
-// Error bodies are {"error": "..."} JSON. Submission answers 400 on a
-// malformed or invalid spec and 503 (with Retry-After) while draining
-// or when the bounded queue is full. Under ServerOptions the server
-// also sheds excess concurrent load and times out stuck requests, so a
-// wedged campaign can not pile up connections until the daemon dies.
+// The pre-/v1 job routes (POST/GET /jobs, GET /healthz, ...) remain as
+// thin aliases that answer identically plus a Deprecation header.
+//
+// Error bodies are api.Error envelopes — {"code","message","retryable"}
+// plus a legacy "error" key for pre-/v1 clients. Submission answers 400
+// on a malformed spec, 422 on an unknown job or vector kind, and 503
+// (with Retry-After) while draining or when the bounded queue is full.
+// Under ServerOptions the server also sheds excess concurrent load and
+// times out stuck requests, so a wedged campaign can not pile up
+// connections until the daemon dies.
 type Server struct {
 	q        *Queue
+	pool     *LeasePool
 	opts     ServerOptions
 	inflight chan struct{}
 	handler  http.Handler
@@ -57,16 +74,46 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 	if opts.RetryAfter <= 0 {
 		opts.RetryAfter = 5 * time.Second
 	}
-	s := &Server{q: q, opts: opts}
+	s := &Server{q: q, pool: opts.Pool, opts: opts}
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", s.submit)
-	mux.HandleFunc("GET /jobs", s.list)
-	mux.HandleFunc("GET /jobs/{id}", s.get)
-	mux.HandleFunc("GET /jobs/{id}/result", s.result)
-	mux.HandleFunc("GET /healthz", s.health)
+	v1 := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := splitPattern(pattern)
+		mux.HandleFunc(method+" "+api.Prefix+path, h)
+	}
+	// legacy registers the pre-/v1 alias: same handler, same body, plus
+	// the deprecation signal pointing clients at the /v1 route.
+	legacy := func(pattern string, h http.HandlerFunc) {
+		method, path, _ := splitPattern(pattern)
+		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=%q", api.Prefix, path, "successor-version"))
+			h(w, r)
+		})
+	}
+	for _, route := range []struct {
+		pattern string
+		h       http.HandlerFunc
+		alias   bool
+	}{
+		{"POST /jobs", s.submit, true},
+		{"GET /jobs", s.list, true},
+		{"GET /jobs/{id}", s.get, true},
+		{"GET /jobs/{id}/result", s.result, true},
+		{"GET /healthz", s.health, true},
+		{"GET /meta", s.meta, false},
+		{"POST /leases", s.leaseAcquire, false},
+		{"POST /leases/{id}/heartbeat", s.leaseHeartbeat, false},
+		{"POST /leases/{id}/result", s.leaseResult, false},
+		{"POST /leases/{id}/fail", s.leaseFail, false},
+	} {
+		v1(route.pattern, route.h)
+		if route.alias {
+			legacy(route.pattern, route.h)
+		}
+	}
 	// Chaos point: a request that stalls while being handled (wedged
 	// campaign lookup, saturated disk) — inside the timeout handler and
 	// the inflight accounting, so tests can drive the timeout and
@@ -79,10 +126,20 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 	})
 	s.handler = inner
 	if opts.RequestTimeout > 0 {
-		s.handler = http.TimeoutHandler(inner, opts.RequestTimeout,
-			`{"error":"request timed out"}`)
+		timeoutBody, _ := json.Marshal(api.Errf(api.CodeTimeout, true, "request timed out"))
+		s.handler = http.TimeoutHandler(inner, opts.RequestTimeout, string(timeoutBody))
 	}
 	return s
+}
+
+// splitPattern separates "METHOD /path" for route registration.
+func splitPattern(pattern string) (method, path string, ok bool) {
+	for i := range pattern {
+		if pattern[i] == ' ' {
+			return pattern[:i], pattern[i+1:], true
+		}
+	}
+	return "", pattern, false
 }
 
 // ServeHTTP implements http.Handler: load shedding first, then the
@@ -95,7 +152,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		default:
 			ctrServerShed.Add(1)
 			s.retryAfter(w)
-			writeErr(w, http.StatusServiceUnavailable, "server at capacity")
+			writeAPIErr(w, api.Errf(api.CodeUnavailable, true, "server at capacity"))
 			return
 		}
 	}
@@ -115,7 +172,7 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad job spec: "+err.Error())
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad job spec: %v", err))
 		return
 	}
 	job, err := s.q.Submit(spec)
@@ -123,55 +180,166 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrQueueFull):
 		// Back-pressure, not failure: tell the client when to retry.
 		s.retryAfter(w)
-		writeErr(w, http.StatusServiceUnavailable, err.Error())
+		writeAPIErr(w, api.Errf(api.CodeUnavailable, true, "%v", err))
+	case errors.Is(err, api.ErrUnknownKind):
+		// 422: the request parsed, but names a kind this server does not
+		// implement — a contract mismatch, not a malformed payload.
+		writeAPIErr(w, api.Errf(api.CodeUnknownKind, false, "%v", err))
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "%v", err))
 	default:
 		writeJSON(w, http.StatusAccepted, job)
 	}
 }
 
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.q.Jobs()})
+	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.q.Jobs()})
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.q.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		writeAPIErr(w, api.Errf(api.CodeNotFound, false, "unknown job %s", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, job)
 }
 
+// result serves a job's terminal outcome. The documented lifecycle:
+// queued/running answer 409 job_not_finished (retryable — poll again),
+// completed answers 200 with the JobResult, failed answers 200 with a
+// job_failed envelope carrying the error.
 func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.q.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		writeAPIErr(w, api.Errf(api.CodeNotFound, false, "unknown job %s", r.PathValue("id")))
 		return
 	}
 	switch job.State {
 	case JobCompleted:
 		writeJSON(w, http.StatusOK, job.Result)
 	case JobFailed:
-		writeJSON(w, http.StatusOK, map[string]any{"error": job.Error, "state": job.State})
+		e := api.Errf(api.CodeJobFailed, false, "%s", job.Error)
+		e.Detail = map[string]any{"state": job.State}
+		writeAPIErr(w, e)
 	default:
-		writeJSON(w, http.StatusConflict, map[string]any{
-			"state":    job.State,
-			"progress": job.Progress,
-		})
+		e := api.Errf(api.CodeJobNotFinished, true, "job %s is %s; retry after it finishes", job.ID, job.State)
+		e.Detail = map[string]any{"state": job.State, "progress": job.Progress}
+		writeAPIErr(w, e)
 	}
 }
 
 func (s *Server) health(w http.ResponseWriter, r *http.Request) {
-	status := "ok"
+	h := api.Health{Status: "ok", Jobs: s.q.Counts()}
 	if s.q.Draining() {
-		status = "draining"
+		h.Status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status": status,
-		"jobs":   s.q.Counts(),
+	if s.pool != nil {
+		c := s.pool.Counts()
+		h.Leases = &c
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// meta is the capabilities document: what this server speaks, so
+// clients and workers can verify compatibility before doing work.
+func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
+	caps := []string{"jobs", "checkpoint"}
+	if s.pool != nil {
+		caps = append(caps, "leases")
+	}
+	writeJSON(w, http.StatusOK, api.Meta{
+		Service:      "sbstd",
+		APIVersion:   api.Version,
+		Versions:     []string{api.Version},
+		JobKinds:     api.JobKinds(),
+		VectorKinds:  api.VectorKinds(),
+		Capabilities: caps,
 	})
+}
+
+// leasePool gates the lease endpoints on distributed mode.
+func (s *Server) leasePool(w http.ResponseWriter) *LeasePool {
+	if s.pool == nil {
+		writeAPIErr(w, api.Errf(api.CodeUnavailable, false, "this coordinator runs without a worker fleet"))
+		return nil
+	}
+	return s.pool
+}
+
+func (s *Server) leaseAcquire(w http.ResponseWriter, r *http.Request) {
+	p := s.leasePool(w)
+	if p == nil {
+		return
+	}
+	var req api.LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad lease request: %v", err))
+		return
+	}
+	l, err := p.Acquire(req)
+	if err != nil {
+		writeAnyErr(w, err)
+		return
+	}
+	if l == nil {
+		// No offerable unit right now: the worker idles and polls again.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, http.StatusOK, l)
+}
+
+func (s *Server) leaseHeartbeat(w http.ResponseWriter, r *http.Request) {
+	p := s.leasePool(w)
+	if p == nil {
+		return
+	}
+	var hb api.Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil {
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad heartbeat: %v", err))
+		return
+	}
+	ack, err := p.Heartbeat(r.PathValue("id"), hb)
+	if err != nil {
+		writeAnyErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ack)
+}
+
+func (s *Server) leaseResult(w http.ResponseWriter, r *http.Request) {
+	p := s.leasePool(w)
+	if p == nil {
+		return
+	}
+	var res api.UnitResult
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad unit result: %v", err))
+		return
+	}
+	if err := p.Complete(r.PathValue("id"), &res); err != nil {
+		writeAnyErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) leaseFail(w http.ResponseWriter, r *http.Request) {
+	p := s.leasePool(w)
+	if p == nil {
+		return
+	}
+	var f api.LeaseFailure
+	if err := json.NewDecoder(r.Body).Decode(&f); err != nil {
+		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad failure report: %v", err))
+		return
+	}
+	if err := p.Fail(r.PathValue("id"), f); err != nil {
+		writeAnyErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -182,6 +350,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeAPIErr serves an error envelope at its code's canonical status.
+func writeAPIErr(w http.ResponseWriter, e *api.Error) {
+	writeJSON(w, api.HTTPStatus(e.Code), e)
+}
+
+// writeAnyErr envelopes arbitrary errors: api.Error verbatim, anything
+// else as an internal error.
+func writeAnyErr(w http.ResponseWriter, err error) {
+	var e *api.Error
+	if errors.As(err, &e) {
+		writeAPIErr(w, e)
+		return
+	}
+	writeAPIErr(w, api.Errf(api.CodeInternal, false, "%v", err))
 }

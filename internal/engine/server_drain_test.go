@@ -169,9 +169,12 @@ func TestServerRequestTimeout(t *testing.T) {
 		t.Fatalf("status %d for timed-out request, want 503", resp.StatusCode)
 	}
 	body, _ := io.ReadAll(resp.Body)
-	var msg map[string]string
+	var msg map[string]any
 	if err := json.Unmarshal(body, &msg); err != nil || msg["error"] == "" {
 		t.Fatalf("timeout body %q is not the JSON error shape", body)
+	}
+	if msg["code"] != "timeout" || msg["retryable"] != true {
+		t.Fatalf("timeout body %q is not a retryable timeout envelope", body)
 	}
 	if time.Since(start) > 2*time.Second {
 		t.Fatal("request hung far past the timeout")

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/api"
 )
 
 func testServer(t *testing.T, opts QueueOptions) (*httptest.Server, *Queue) {
@@ -115,19 +117,35 @@ func TestServerJobLifecycle(t *testing.T) {
 func TestServerErrorPaths(t *testing.T) {
 	srv, _ := testServer(t, QueueOptions{Workers: 1})
 
-	for _, body := range []string{
-		`{not json`,
-		`{"kind":"bogus"}`,
-		`{"kind":"fault_sim","vectors":{"kind":"bist"}}`,
-		`{"kind":"fault_sim","vectors":{"kind":"bist","count":10},"unknown_field":1}`,
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{not json`, http.StatusBadRequest},
+		{`{"kind":"bogus"}`, http.StatusUnprocessableEntity},
+		{`{"kind":"fault_sim","vectors":{"kind":"csv","count":10}}`, http.StatusUnprocessableEntity},
+		{`{"kind":"fault_sim","vectors":{"kind":"bist"}}`, http.StatusBadRequest},
+		{`{"kind":"fault_sim","vectors":{"kind":"bist","count":10},"unknown_field":1}`, http.StatusBadRequest},
 	} {
-		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Fatalf("submit %q status %d, want 400", body, resp.StatusCode)
+		var envelope struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+			Legacy    string `json:"error"`
+		}
+		decode(t, resp, &envelope)
+		if resp.StatusCode != tc.want {
+			t.Fatalf("submit %q status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		if envelope.Code == "" || envelope.Message == "" || envelope.Legacy == "" {
+			t.Fatalf("submit %q error envelope %+v missing fields", tc.body, envelope)
+		}
+		if tc.want == http.StatusUnprocessableEntity && envelope.Code != "unknown_kind" {
+			t.Fatalf("submit %q code %q, want unknown_kind", tc.body, envelope.Code)
 		}
 	}
 	for _, path := range []string{"/jobs/job-9999", "/jobs/job-9999/result"} {
@@ -142,8 +160,9 @@ func TestServerErrorPaths(t *testing.T) {
 	}
 }
 
-// TestServerResultNotReady answers 409 with the live progress while the
-// job is still queued or running.
+// TestServerResultNotReady answers 409 with a retryable job_not_finished
+// envelope (carrying the live progress) while the job is still queued or
+// running.
 func TestServerResultNotReady(t *testing.T) {
 	release := make(chan struct{})
 	srv, _ := testServer(t, QueueOptions{
@@ -161,14 +180,206 @@ func TestServerResultNotReady(t *testing.T) {
 	}
 	var job Job
 	decode(t, resp, &job)
-	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early result status %d, want 409", resp.StatusCode)
+	}
+	var envelope struct {
+		Code      string         `json:"code"`
+		Retryable bool           `json:"retryable"`
+		Detail    map[string]any `json:"detail"`
+	}
+	decode(t, resp, &envelope)
+	if envelope.Code != "job_not_finished" || !envelope.Retryable {
+		t.Fatalf("early result envelope %+v, want retryable job_not_finished", envelope)
+	}
+	if envelope.Detail["state"] == nil {
+		t.Fatalf("early result envelope %+v lacks the job state detail", envelope)
+	}
+}
+
+// TestServerV1Surface: the versioned routes answer, /v1/meta documents
+// the contract, and the legacy aliases reply identically plus the
+// Deprecation header.
+func TestServerV1Surface(t *testing.T) {
+	srv, _ := testServer(t, QueueOptions{Workers: 1})
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":32}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("v1 submit status %d, want 202", resp.StatusCode)
+	}
+	if resp.Header.Get("Deprecation") != "" {
+		t.Fatal("/v1 route carries a Deprecation header")
+	}
+	var job Job
+	decode(t, resp, &job)
+	for _, path := range []string{"/v1/jobs", "/v1/jobs/" + job.ID, "/v1/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status %d", path, resp.StatusCode)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta struct {
+		Service      string   `json:"service"`
+		APIVersion   string   `json:"api_version"`
+		JobKinds     []string `json:"job_kinds"`
+		Capabilities []string `json:"capabilities"`
+	}
+	decode(t, resp, &meta)
+	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 4 {
+		t.Fatalf("meta %+v", meta)
+	}
+
+	// Legacy aliases keep answering, flagged deprecated.
+	for _, path := range []string{"/jobs", "/healthz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("legacy GET %s status %d", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Deprecation") != "true" {
+			t.Fatalf("legacy GET %s lacks the Deprecation header", path)
+		}
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) {
+			t.Fatalf("legacy GET %s Link header %q does not point at /v1", path, link)
+		}
+	}
+}
+
+// TestServerLeaseEndpoints drives the worker protocol over HTTP:
+// acquire → heartbeat → upload against a live pool, plus the
+// jobs-only-server and no-work answers.
+func TestServerLeaseEndpoints(t *testing.T) {
+	// Without a pool, lease routes answer 503.
+	bare, _ := testServer(t, QueueOptions{Workers: 1})
+	resp, err := http.Post(bare.URL+"/v1/leases", "application/json",
+		strings.NewReader(`{"worker_id":"w1"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("early result status %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("lease acquire without a pool = %d, want 503", resp.StatusCode)
 	}
+
+	pool := NewLeasePool(PoolOptions{TTL: time.Second})
+	defer pool.Close()
+	q := NewQueue(QueueOptions{Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+		return &JobResult{}, nil
+	}})
+	q.Start()
+	srv := httptest.NewServer(NewServerWith(q, ServerOptions{Pool: pool}))
+	t.Cleanup(srv.Close)
+
+	// No registered work: 204.
+	resp, err = http.Post(srv.URL+"/v1/leases", "application/json",
+		strings.NewReader(`{"worker_id":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("lease acquire with no work = %d, want 204", resp.StatusCode)
+	}
+
+	h, err := pool.Register("job-7", poolSpec(), 8, 1, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/v1/leases", "application/json",
+		strings.NewReader(`{"worker_id":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("lease acquire = %d, want 200", resp.StatusCode)
+	}
+	var lease struct {
+		ID   string `json:"id"`
+		Unit struct {
+			FaultLo int `json:"fault_lo"`
+			FaultHi int `json:"fault_hi"`
+		} `json:"unit"`
+		TTLMillis int `json:"ttl_ms"`
+	}
+	decode(t, resp, &lease)
+	if lease.ID == "" || lease.Unit.FaultHi != 8 || lease.TTLMillis <= 0 {
+		t.Fatalf("lease %+v", lease)
+	}
+
+	hb, _ := json.Marshal(map[string]any{"worker_id": "w1", "progress": map[string]int{"done": 4}})
+	resp, err = http.Post(srv.URL+"/v1/leases/"+lease.ID+"/heartbeat", "application/json", strings.NewReader(string(hb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack struct {
+		TTLMillis int `json:"ttl_ms"`
+	}
+	decode(t, resp, &ack)
+	if ack.TTLMillis <= 0 {
+		t.Fatalf("heartbeat ack %+v", ack)
+	}
+
+	up, _ := json.Marshal(identityResult("w1", toWorkUnit(t, pool, lease.ID), 16))
+	resp, err = http.Post(srv.URL+"/v1/leases/"+lease.ID+"/result", "application/json", strings.NewReader(string(up)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("result upload = %d, want 204", resp.StatusCode)
+	}
+	if _, err := h.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The lease is spent: further calls answer 409 lease_gone.
+	resp, err = http.Post(srv.URL+"/v1/leases/"+lease.ID+"/fail", "application/json",
+		strings.NewReader(`{"worker_id":"w1","reason":"late"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("fail on spent lease = %d, want 409", resp.StatusCode)
+	}
+	var envelope struct {
+		Code string `json:"code"`
+	}
+	decode(t, resp, &envelope)
+	if envelope.Code != "lease_gone" {
+		t.Fatalf("fail on spent lease code %q, want lease_gone", envelope.Code)
+	}
+}
+
+// toWorkUnit fetches the wire unit behind a granted lease.
+func toWorkUnit(t *testing.T, p *LeasePool, leaseID string) api.WorkUnit {
+	t.Helper()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l, ok := p.leases[leaseID]
+	if !ok {
+		t.Fatalf("lease %s not in pool", leaseID)
+	}
+	return l.unit.wire
 }
 
 // TestServerGracefulDrain: during a drain, running work finishes,
