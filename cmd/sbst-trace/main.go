@@ -1,0 +1,54 @@
+// Command sbst-trace merges the per-process NDJSON traces of a
+// distributed campaign into one timeline. Each process — the sbstd
+// coordinator and every sbst-worker — writes its own -trace file with
+// relative timestamps; the job's trace ID (minted at submission,
+// carried through every /v1 wire type) stamps each event, and the
+// trace_open header of each file anchors it on the absolute clock.
+//
+//	sbstd -distributed -trace coord.ndjson &
+//	sbst-worker -trace w1.ndjson &
+//	sbst-worker -trace w2.ndjson &
+//	...
+//	sbst-trace coord.ndjson w1.ndjson w2.ndjson
+//	sbst-trace -trace-id 9f3a1c2b4d5e6f70 -json *.ndjson
+//
+// Without -trace-id the tool picks the trace with the most events. The
+// default output is a human-readable timeline: per-process span
+// listing, per-worker utilization, and the critical path — the chain
+// of spans the campaign's wall clock could not have finished without.
+// -json emits the merged timeline as JSON for downstream tooling.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tracemerge"
+)
+
+func main() {
+	traceID := flag.String("trace-id", "", "campaign trace ID to extract (default: the dominant trace across files)")
+	asJSON := flag.Bool("json", false, "emit the merged timeline as JSON instead of the text summary")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sbst-trace [-trace-id ID] [-json] trace.ndjson...")
+		os.Exit(2)
+	}
+	tl, err := tracemerge.MergeFiles(flag.Args(), *traceID)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbst-trace:", err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tl); err != nil {
+			fmt.Fprintln(os.Stderr, "sbst-trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	tl.Render(os.Stdout)
+}

@@ -9,16 +9,26 @@
 //	     -d '{"kind":"fault_sim","vectors":{"kind":"bist","count":20000}}'
 //	curl localhost:8321/jobs/job-0001            # state + progress
 //	curl localhost:8321/jobs/job-0001/result     # coverage numbers
+//	curl localhost:8321/v1/metrics               # Prometheus exposition
+//	curl -N localhost:8321/v1/jobs/job-0001/events   # SSE live progress
+//
+// Follow mode turns the binary into a live client: it consumes the SSE
+// event stream of one job and renders progress at ~1 Hz, printing the
+// final result as JSON on stdout.
+//
+//	sbstd -follow job-0001 -coordinator http://localhost:8321
 //
 // SIGTERM/SIGINT drains gracefully: submissions get 503, running jobs
 // finish (until -drain-timeout, after which they stop at the next
 // segment boundary and return to the queue), and the final checkpoint
 // captures every job so a restart with the same -checkpoint resumes the
-// campaign.
+// campaign. The NDJSON trace buffer is flushed the moment the drain
+// begins, so a process killed mid-drain has persisted its tail events.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,7 +39,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/chaos"
+	"repro/internal/client"
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -49,16 +61,26 @@ func main() {
 	units := flag.Int("units", 8, "work units per distributed campaign (ignored without -distributed)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat (ignored without -distributed)")
 	unitAttempts := flag.Int("unit-attempts", 3, "grants per work unit before the campaign fails (ignored without -distributed)")
+	followJob := flag.String("follow", "", "follow mode: stream this job's SSE events from -coordinator and exit with its result")
+	coordinator := flag.String("coordinator", "http://localhost:8321", "coordinator base URL for -follow")
 	obsCfg := obs.Flags()
 	chaosCfg := chaos.Flags()
 	flag.Parse()
 
+	if *followJob != "" {
+		if err := follow(*coordinator, *followJob); err != nil {
+			fail(nil, err)
+		}
+		return
+	}
+
 	rt := obsCfg.MustStart()
 	defer rt.Close()
 	if err := chaosCfg.Arm(); err != nil {
-		fail(err)
+		fail(rt, err)
 	}
 
+	events := engine.NewJobEventBroker()
 	execCfg := engine.ExecConfig{
 		Workers: obsCfg.Workers,
 		Sink:    rt.Sink(),
@@ -71,6 +93,7 @@ func main() {
 			TTL:          *leaseTTL,
 			UnitAttempts: *unitAttempts,
 			Sink:         rt.Sink(),
+			Events:       events,
 		})
 		defer pool.Close()
 		exec = engine.NewDistExecutor(execCfg, pool, engine.DistOptions{Units: *units})
@@ -87,6 +110,7 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		StuckTimeout: *stuckTimeout,
 		DistState:    distState,
+		Events:       events,
 	})
 	if *checkpoint != "" {
 		switch err := q.Restore(*checkpoint); {
@@ -108,7 +132,7 @@ func main() {
 			// them out.
 			fmt.Fprintf(os.Stderr, "sbstd: warning: %v; starting fresh\n", err)
 		default:
-			fail(err)
+			fail(rt, err)
 		}
 	}
 	q.Start()
@@ -117,6 +141,7 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		MaxInflight:    *maxInflight,
 		Pool:           pool,
+		Events:         events,
 	})}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
@@ -126,11 +151,16 @@ func main() {
 	defer stop()
 	select {
 	case err := <-errCh:
-		fail(err)
+		fail(rt, err)
 	case <-ctx.Done():
 	}
 
 	fmt.Fprintln(os.Stderr, "sbstd: draining...")
+	// Persist the trace tail now: if the drain is cut short by SIGKILL,
+	// everything emitted up to this point is already on disk.
+	if err := rt.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "sbstd: trace flush:", err)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -142,7 +172,58 @@ func main() {
 	fmt.Fprintln(os.Stderr, "sbstd: drained")
 }
 
-func fail(err error) {
+// follow streams one job's SSE events and renders them at ~1 Hz: the
+// progress frames drive the rewriting status line, state and lease
+// frames print as permanent lines, and the final result lands on
+// stdout as JSON (stderr carries only the rendering).
+func follow(coordinator, jobID string) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	c := client.New(coordinator, client.Options{})
+	r := obs.NewRenderer(os.Stderr)
+	res, err := c.Follow(ctx, jobID, 0, func(ev api.JobEvent) {
+		switch ev.Type {
+		case api.JobEventProgress:
+			if ev.Progress == nil {
+				return
+			}
+			r.Emit(obs.Event{Type: obs.EventProgress, Name: jobID, Fields: map[string]any{
+				"done": ev.Progress.Done, "total": ev.Progress.Total,
+				"detected": ev.Progress.Detected, "remaining": ev.Progress.Remaining,
+				"coverage": ev.Progress.Coverage,
+			}})
+		case api.JobEventState:
+			r.Emit(obs.Event{Type: obs.EventCounters, Name: jobID, Fields: map[string]any{
+				"state": string(ev.State), "trace": ev.TraceID,
+			}})
+		case api.JobEventLease:
+			if ev.Lease == nil {
+				return
+			}
+			fields := map[string]any{"event": ev.Lease.Event, "unit": ev.Lease.Unit}
+			if ev.Lease.WorkerID != "" {
+				fields["worker"] = ev.Lease.WorkerID
+			}
+			if ev.Lease.Reason != "" {
+				fields["reason"] = ev.Lease.Reason
+			}
+			r.Emit(obs.Event{Type: obs.EventCounters, Name: jobID + " lease", Fields: fields})
+		}
+	})
+	if err != nil {
+		return err
+	}
+	r.Emit(obs.Event{Type: obs.EventSummary, Name: jobID, Fields: map[string]any{
+		"coverage": res.Coverage, "cycles": res.Cycles,
+		"faults": res.Faults, "detected": res.Detected,
+	}})
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+func fail(rt *obs.Runtime, err error) {
+	rt.Close()
 	fmt.Fprintln(os.Stderr, "sbstd:", err)
 	os.Exit(1)
 }

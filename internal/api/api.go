@@ -141,6 +141,12 @@ type JobSpec struct {
 	// with a deadline error (no retry — a rerun would only time out
 	// again). Zero inherits the queue's JobTimeout, if any.
 	DeadlineSec float64 `json:"deadline_sec,omitempty"`
+	// TraceID correlates every process touching this job: minted by the
+	// queue at submission when empty, echoed in job snapshots and SSE
+	// events, and carried to workers inside lease work units so their
+	// NDJSON traces share the coordinator's ID (cmd/sbst-trace merges
+	// them). Clients may pre-mint their own.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Validate rejects specs the executor could not run, so the server can
@@ -277,6 +283,22 @@ type Meta struct {
 	JobKinds    []JobKind    `json:"job_kinds"`
 	VectorKinds []VectorKind `json:"vector_kinds"`
 	// Capabilities names the optional surfaces this instance serves:
-	// "jobs" always; "leases" when running as a coordinator.
+	// "jobs" and "metrics" always; "leases" when running as a
+	// coordinator; "events" when the SSE job-event stream is wired.
 	Capabilities []string `json:"capabilities"`
+	// Obs is a point-in-time health snapshot of the serving process.
+	Obs *MetaObs `json:"obs,omitempty"`
+}
+
+// MetaObs is the observability summary embedded in GET /v1/meta — the
+// three numbers a fleet dashboard wants before scraping full metrics.
+type MetaObs struct {
+	// GateEvals is the process-lifetime faultsim.gate_evals counter.
+	GateEvals int64 `json:"gate_evals"`
+	// VectorsPerSec is the most recent simulation throughput.
+	VectorsPerSec float64 `json:"vectors_per_sec"`
+	// HeartbeatP99Millis is the 99th-percentile gap between worker
+	// heartbeats observed by this coordinator's lease pool (0 when no
+	// heartbeats have been seen).
+	HeartbeatP99Millis float64 `json:"heartbeat_p99_ms"`
 }

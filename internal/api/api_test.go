@@ -32,6 +32,7 @@ func wireExamples() []struct {
 		NDetect:     5,
 		SegmentLen:  128,
 		DeadlineSec: 30,
+		TraceID:     "9f3a1c2b4d5e6f70",
 	}
 	unit := WorkUnit{
 		JobID: "job-0001", Unit: 1, Units: 4, Spec: spec,
@@ -74,7 +75,20 @@ func wireExamples() []struct {
 		{"Meta", Meta{
 			Service: "sbstd", APIVersion: Version, Versions: []string{Version},
 			JobKinds: JobKinds(), VectorKinds: VectorKinds(),
-			Capabilities: []string{"jobs", "leases"},
+			Capabilities: []string{"jobs", "metrics", "leases", "events"},
+			Obs: &MetaObs{GateEvals: 123456789, VectorsPerSec: 52000.5,
+				HeartbeatP99Millis: 312.5},
+		}},
+		{"JobEvent", JobEvent{
+			Seq: 12, Type: JobEventLease, JobID: "job-0001",
+			TraceID: "9f3a1c2b4d5e6f70",
+			Lease: &LeaseEvent{Event: "lease_expired", LeaseID: "lease-0003",
+				Unit: 1, WorkerID: "worker-a", Attempt: 2, Reason: "ttl elapsed"},
+		}},
+		{"JobEventResult", JobEvent{
+			Seq: 13, Type: JobEventResult, JobID: "job-0001",
+			TraceID: "9f3a1c2b4d5e6f70", State: JobCompleted,
+			Result: &JobResult{Faults: 9320, Detected: 8800, Cycles: 4096, Coverage: 0.9442},
 		}},
 		{"Error", Error{
 			Code: CodeJobNotFinished, Message: "job job-0001 is running",
@@ -167,6 +181,8 @@ func roundTrip(t *testing.T, name string, v any, data []byte) any {
 		return decodeInto[Health](t, name, data)
 	case Meta:
 		return decodeInto[Meta](t, name, data)
+	case JobEvent:
+		return decodeInto[JobEvent](t, name, data)
 	case Error:
 		return decodeInto[Error](t, name, data)
 	case LeaseRequest:

@@ -243,6 +243,9 @@ func (c *Client) once(ctx context.Context, method, path string, in, out any) (st
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id := traceIDFrom(ctx); id != "" {
+		req.Header.Set("X-Trace-Id", id)
+	}
 	resp, err := c.opts.HTTP.Do(req)
 	if err != nil {
 		return 0, 0, fmt.Errorf("client: %s %s: %w", method, path, err)

@@ -1,0 +1,174 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+var (
+	ctrFollowEvents     = obs.Default().Counter("client.follow.events")
+	ctrFollowReconnects = obs.Default().Counter("client.follow.reconnects")
+)
+
+// traceKey carries a campaign trace ID through a client context; calls
+// made under it send the ID as an X-Trace-Id request header, so the
+// coordinator's access path and the caller's NDJSON trace share one ID.
+type traceKey struct{}
+
+// WithTraceID returns a context whose client calls carry the trace ID.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+func traceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// Follow consumes GET /v1/jobs/{id}/events — the job's Server-Sent
+// Events stream — from just after sequence number `after` (0 = from the
+// beginning) until the terminal result frame, calling fn (when non-nil)
+// for every event including the terminal one. It returns the job's
+// result exactly as the polled /result route would: the JobResult on
+// success, a *api.Error with CodeJobFailed on job failure.
+//
+// A dropped connection resumes via Last-Event-ID from the last frame
+// seen. Consecutive connection failures beyond MaxRetries abort;
+// receiving any event resets the budget.
+func (c *Client) Follow(ctx context.Context, jobID string, after int64, fn func(api.JobEvent)) (*api.JobResult, error) {
+	// The streaming exchange must outlive Options.HTTP's overall request
+	// timeout (30s would sever every long campaign), so Follow uses its
+	// own client sharing the configured transport; lifetime is governed
+	// by ctx alone.
+	stream := &http.Client{Transport: c.opts.HTTP.Transport}
+	fails := 0
+	for {
+		got, res, err := c.followOnce(ctx, stream, jobID, &after, fn)
+		if res != nil || (err != nil && !retryableFollow(err)) {
+			return res, err
+		}
+		if got {
+			fails = 0
+		} else {
+			fails++
+			if fails > c.opts.MaxRetries {
+				return nil, fmt.Errorf("client: follow %s: %d consecutive failed connections (last: %v)", jobID, fails, err)
+			}
+			ctrRetries.Add(1)
+		}
+		ctrFollowReconnects.Add(1)
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.backoff(fails + 1)):
+		}
+	}
+}
+
+// followOnce runs a single streaming connection. It reports whether any
+// event arrived, and returns a non-nil result (or terminal error) only
+// when the stream reached its result frame.
+func (c *Client) followOnce(ctx context.Context, stream *http.Client, jobID string,
+	after *int64, fn func(api.JobEvent)) (gotEvent bool, res *api.JobResult, err error) {
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+api.Prefix+"/jobs/"+jobID+"/events", nil)
+	if err != nil {
+		return false, nil, fmt.Errorf("client: follow %s: %w", jobID, err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if *after > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(*after, 10))
+	}
+	if id := traceIDFrom(ctx); id != "" {
+		req.Header.Set("X-Trace-Id", id)
+	}
+	resp, err := stream.Do(req)
+	if err != nil {
+		return false, nil, fmt.Errorf("client: follow %s: %w", jobID, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		var e api.Error
+		if json.Unmarshal(data, &e) == nil && e.Code != "" {
+			return false, nil, &e
+		}
+		return false, nil, fmt.Errorf("client: follow %s: HTTP %d: %s", jobID, resp.StatusCode, firstLine(data))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	var data strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if data.Len() == 0 {
+				continue // keepalive or id/event-only frame
+			}
+			var ev api.JobEvent
+			if uerr := json.Unmarshal([]byte(data.String()), &ev); uerr != nil {
+				return gotEvent, nil, fmt.Errorf("client: follow %s: bad event payload: %w", jobID, uerr)
+			}
+			data.Reset()
+			gotEvent = true
+			ctrFollowEvents.Add(1)
+			if ev.Seq > *after {
+				*after = ev.Seq
+			}
+			if fn != nil {
+				fn(ev)
+			}
+			if ev.Type == api.JobEventResult {
+				if ev.State == api.JobFailed {
+					return true, nil, api.Errf(api.CodeJobFailed, false, "%s", ev.Error)
+				}
+				return true, ev.Result, nil
+			}
+		case strings.HasPrefix(line, "data:"):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		default:
+			// id:/event:/comment lines — Seq rides inside the payload.
+		}
+	}
+	if ctx.Err() != nil {
+		return gotEvent, nil, ctx.Err()
+	}
+	// Server closed without a result frame (restart, shed, broker lag):
+	// reconnect and resume from the last sequence seen.
+	return gotEvent, nil, sc.Err()
+}
+
+// retryableFollow reports whether Follow may reconnect after err: any
+// transport-level trouble (err == nil or unrecognized) qualifies;
+// context ends and non-retryable contract errors do not.
+func retryableFollow(err error) bool {
+	if err == nil {
+		return true
+	}
+	if err == context.Canceled || err == context.DeadlineExceeded {
+		return false
+	}
+	var ae *api.Error
+	if api.AsError(err, &ae) {
+		return ae.Retryable
+	}
+	return true
+}

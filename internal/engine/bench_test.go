@@ -68,3 +68,24 @@ func BenchmarkSimulateKernels(b *testing.B) {
 	b.Run("reference", func(b *testing.B) { benchSimulate(b, 1, fault.KernelReference) })
 	b.Run("compiled", func(b *testing.B) { benchSimulate(b, 1, fault.KernelCompiled) })
 }
+
+// BenchmarkMetricsOverhead measures what the metric instrumentation on
+// the compiled-kernel hot path costs: the same serial workload with the
+// registry armed (default) versus disarmed via obs.SetArmed, which
+// turns every Counter.Add and Histogram.Observe into a load-and-skip.
+// The acceptance bar is ≤ 1% wall-clock difference — the per-segment
+// counter adds must stay invisible next to the per-vector simulation
+// work. Compare:
+//
+//	go test -bench MetricsOverhead -benchtime 3x ./internal/engine
+func BenchmarkMetricsOverhead(b *testing.B) {
+	b.Run("armed", func(b *testing.B) {
+		obs.SetArmed(true)
+		benchSimulate(b, 1, fault.KernelCompiled)
+	})
+	b.Run("disarmed", func(b *testing.B) {
+		obs.SetArmed(false)
+		defer obs.SetArmed(true)
+		benchSimulate(b, 1, fault.KernelCompiled)
+	})
+}

@@ -60,6 +60,23 @@ func JobIDFromContext(ctx context.Context) string {
 	return id
 }
 
+// traceIDKey carries the job's campaign trace ID the same way.
+type traceIDKey struct{}
+
+func withTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFromContext returns the campaign trace ID the executor is
+// running under, or "" outside a traced queue job.
+func TraceIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
 var distAnonID atomic.Int64
 
 // NewDistExecutor returns the coordinator Executor: fault_sim and
@@ -131,7 +148,7 @@ func distSimulate(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts Dis
 	if err != nil {
 		return nil, nil, err
 	}
-	span := obs.NewSpan(cfg.Sink, "engine.dist")
+	span := obs.NewSpan(obs.WithTrace(cfg.Sink, spec.TraceID), "engine.dist")
 	span.Add("units", int64(opts.Units))
 	span.Add("faults", int64(len(faults)))
 	defer span.End()
@@ -242,7 +259,7 @@ func RunWorkUnit(ctx context.Context, workerID string, u api.WorkUnit,
 			NDetect:    specNDetect(u.Spec),
 			SegmentLen: u.Spec.SegmentLen,
 			Ctx:        ctx,
-			Sink:       cfg.Sink,
+			Sink:       obs.WithTrace(cfg.Sink, u.Spec.TraceID),
 			Progress: func(cycles, detected, remaining int) {
 				if progress != nil {
 					progress(api.Progress{

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -32,6 +33,16 @@ var (
 	ctrSimRuns      = obs.Default().Counter("engine.sim.runs")
 	ctrSimShards    = obs.Default().Counter("engine.sim.shards")
 	ctrShardRetries = obs.Default().Counter("engine.shard_retries")
+
+	// gaugeVectorsPerSec is the most recent campaign's whole-run
+	// throughput; also surfaced through /v1/meta.
+	gaugeVectorsPerSec = obs.Default().GaugeFamily("sbst_sim_vectors_per_second",
+		"Most recent sharded simulation's vectors-per-second throughput.").Gauge()
+	// histShardRate distributes per-shard throughput, exposing slow-core
+	// or contended shards a whole-run average would hide.
+	histShardRate = obs.Default().HistogramFamily("sbst_shard_vectors_per_second",
+		"Per-shard vectors-per-second throughput of sharded simulations.",
+		[]float64{1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7}).Histogram()
 )
 
 // shardAttempts is the per-shard run budget: a shard that panics or
@@ -95,10 +106,15 @@ func Simulate(n *logic.Netlist, vecs fault.VectorSeq, opts SimOptions) (*fault.R
 	if workers > len(faults) {
 		workers = len(faults)
 	}
+	start := time.Now()
 	if workers <= 1 {
 		serial := opts.SimOptions
 		serial.Faults = faults
-		return fault.Simulate(n, vecs, serial)
+		res, err := fault.Simulate(n, vecs, serial)
+		if err == nil && res != nil {
+			recordRunRate(res.Cycles, start)
+		}
+		return res, err
 	}
 
 	ctrSimRuns.Add(1)
@@ -134,9 +150,15 @@ func Simulate(n *logic.Netlist, vecs fault.VectorSeq, opts SimOptions) (*fault.R
 			// taking down the whole campaign — or, without the recover,
 			// the whole process.
 			for attempt := 1; ; attempt++ {
+				shardStart := time.Now()
 				res, err := runShard(n, vecs, shard, opts, s)
 				if err == nil || attempt >= shardAttempts ||
 					(opts.Ctx != nil && opts.Ctx.Err() != nil) {
+					if err == nil && res != nil {
+						if secs := time.Since(shardStart).Seconds(); secs > 0 {
+							histShardRate.Observe(float64(res.Cycles) / secs)
+						}
+					}
 					shardRes[s], shardErr[s] = res, err
 					break
 				}
@@ -196,7 +218,15 @@ func Simulate(n *logic.Netlist, vecs fault.VectorSeq, opts SimOptions) (*fault.R
 		"interrupted": res.Interrupted,
 	})
 	span.End()
+	recordRunRate(res.Cycles, start)
 	return res, nil
+}
+
+// recordRunRate publishes the run's whole-campaign throughput gauge.
+func recordRunRate(cycles int, start time.Time) {
+	if secs := time.Since(start).Seconds(); secs > 0 {
+		gaugeVectorsPerSec.Set(float64(cycles) / secs)
+	}
 }
 
 // aggregator folds per-shard progress callbacks into global snapshots.

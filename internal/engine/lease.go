@@ -26,14 +26,31 @@ import (
 // schedule — the distributed e2e test in internal/worker pins this
 // against the serial oracle.
 
+// Lease traffic reports through one labeled family (the flat lease.*
+// counters of earlier revisions became its children; handles keep their
+// old names so call sites read the same).
 var (
-	ctrLeaseGranted   = obs.Default().Counter("lease.granted")
-	ctrLeaseCompleted = obs.Default().Counter("lease.completed")
-	ctrLeaseFailed    = obs.Default().Counter("lease.failed")
-	ctrLeaseExpired   = obs.Default().Counter("lease.expired")
-	ctrLeaseHeartbeat = obs.Default().Counter("lease.heartbeats")
-	ctrLeaseBadResult = obs.Default().Counter("lease.bad_result")
+	famLeaseEvents = obs.Default().CounterFamily("sbst_lease_events_total",
+		"Lease lifecycle events on the coordinator, by event.", "event")
+	ctrLeaseGranted   = famLeaseEvents.Counter("granted")
+	ctrLeaseCompleted = famLeaseEvents.Counter("completed")
+	ctrLeaseFailed    = famLeaseEvents.Counter("failed")
+	ctrLeaseExpired   = famLeaseEvents.Counter("expired")
+	ctrLeaseHeartbeat = famLeaseEvents.Counter("heartbeat")
+	ctrLeaseBadResult = famLeaseEvents.Counter("bad_result")
 	ctrDistJobs       = obs.Default().Counter("dist.jobs")
+
+	famLeaseUnits = obs.Default().GaugeFamily("sbst_lease_units",
+		"Work units registered with the lease pool, by state.", "state")
+	gaugeUnitsPending = famLeaseUnits.Gauge("pending")
+	gaugeUnitsLeased  = famLeaseUnits.Gauge("leased")
+	gaugeUnitsDone    = famLeaseUnits.Gauge("done")
+
+	// histHeartbeatGap feeds both the exposition histogram and the
+	// heartbeat p99 served in /v1/meta.
+	histHeartbeatGap = obs.Default().HistogramFamily("sbst_heartbeat_gap_seconds",
+		"Gap between successive heartbeats on a lease, observed by the coordinator.",
+		obs.DefBuckets).Histogram()
 )
 
 // PoolOptions configure NewLeasePool.
@@ -50,6 +67,9 @@ type PoolOptions struct {
 	RetryMax  time.Duration
 	// Sink receives lease lifecycle events.
 	Sink obs.Sink
+	// Events, when set, receives lease-typed JobEvents for the SSE
+	// stream. Share one broker with the queue and server.
+	Events *JobEventBroker
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -77,6 +97,7 @@ type poolUnit struct {
 // distJob is one distributed job's unit set and merge target.
 type distJob struct {
 	id        string
+	trace     string // campaign trace ID from the registering spec
 	units     []*poolUnit
 	ndetect   int
 	detected  []int32
@@ -95,6 +116,7 @@ type lease struct {
 	job      *distJob
 	unit     *poolUnit
 	deadline time.Time
+	lastBeat time.Time // grant or last heartbeat, for the gap histogram
 }
 
 // DistHandle is the executor's view of a registered distributed job:
@@ -212,6 +234,7 @@ func (p *LeasePool) Register(jobID string, spec api.JobSpec, totalFaults, units 
 	ndet := specNDetect(spec)
 	j := &distJob{
 		id:        jobID,
+		trace:     spec.TraceID,
 		ndetect:   ndet,
 		detected:  make([]int32, totalFaults),
 		remaining: units,
@@ -244,14 +267,46 @@ func (p *LeasePool) Register(jobID string, spec api.JobSpec, totalFaults, units 
 	p.jobs[jobID] = j
 	p.order = append(p.order, jobID)
 	ctrDistJobs.Add(1)
+	p.updateUnitGaugesLocked()
 	obs.Emit(p.opts.Sink, obs.Event{
-		Type: obs.EventPhase,
-		Name: "lease/" + jobID,
+		Type:  obs.EventPhase,
+		Name:  "lease/" + jobID,
+		Trace: j.trace,
 		Fields: map[string]any{
 			"event": "registered", "units": units, "faults": totalFaults,
 		},
 	})
 	return &DistHandle{pool: p, job: j}, nil
+}
+
+// updateUnitGaugesLocked refreshes the pool's unit-state gauges.
+// Caller holds p.mu.
+func (p *LeasePool) updateUnitGaugesLocked() {
+	var pending, leased, done float64
+	for _, j := range p.jobs {
+		for _, u := range j.units {
+			switch u.state {
+			case unitPending:
+				pending++
+			case unitLeased:
+				leased++
+			case unitDone:
+				done++
+			}
+		}
+	}
+	gaugeUnitsPending.Set(pending)
+	gaugeUnitsLeased.Set(leased)
+	gaugeUnitsDone.Set(done)
+}
+
+// publishLease emits a lease-typed JobEvent on the shared broker
+// (no-op without one). Callers may hold p.mu: the broker's lock is a
+// leaf in the lock order.
+func (p *LeasePool) publishLease(j *distJob, ev api.LeaseEvent) {
+	p.opts.Events.Publish(api.JobEvent{
+		Type: api.JobEventLease, JobID: j.id, TraceID: j.trace, Lease: &ev,
+	})
 }
 
 // Release withdraws a job from the pool (executor cancelled, job done).
@@ -279,6 +334,7 @@ func (p *LeasePool) Release(jobID string) {
 		j.err = api.Errf(api.CodeUnavailable, true, "job %s withdrawn from the pool", jobID)
 		close(j.done)
 	}
+	p.updateUnitGaugesLocked()
 }
 
 // Wait blocks until the job's units are all merged, the job failed, or
@@ -341,18 +397,25 @@ func (p *LeasePool) Acquire(req api.LeaseRequest) (*api.Lease, error) {
 				job:      j,
 				unit:     u,
 				deadline: now.Add(p.opts.TTL),
+				lastBeat: now,
 			}
 			u.state = unitLeased
 			u.leaseID = l.id
 			p.leases[l.id] = l
 			ctrLeaseGranted.Add(1)
+			p.updateUnitGaugesLocked()
 			obs.Emit(p.opts.Sink, obs.Event{
-				Type: obs.EventPhase,
-				Name: "lease/" + jobID,
+				Type:  obs.EventPhase,
+				Name:  "lease/" + jobID,
+				Trace: j.trace,
 				Fields: map[string]any{
 					"event": "granted", "lease": l.id, "unit": u.wire.Unit,
 					"worker": req.WorkerID, "attempt": u.attempts,
 				},
+			})
+			p.publishLease(j, api.LeaseEvent{
+				Event: "granted", LeaseID: l.id, Unit: u.wire.Unit,
+				WorkerID: req.WorkerID, Attempt: u.attempts,
 			})
 			return &api.Lease{
 				ID: l.id, WorkerID: req.WorkerID, Unit: u.wire,
@@ -374,7 +437,10 @@ func (p *LeasePool) Heartbeat(leaseID string, hb api.Heartbeat) (*api.HeartbeatA
 		p.mu.Unlock()
 		return nil, api.Errf(api.CodeLeaseGone, true, "lease %s expired, reassigned or withdrawn", leaseID)
 	}
-	l.deadline = p.opts.now().Add(p.opts.TTL)
+	now := p.opts.now()
+	histHeartbeatGap.Observe(now.Sub(l.lastBeat).Seconds())
+	l.lastBeat = now
+	l.deadline = now.Add(p.opts.TTL)
 	l.unit.progress = hb.Progress
 	ctrLeaseHeartbeat.Add(1)
 	snap, notify := p.jobProgressLocked(l.job)
@@ -431,13 +497,19 @@ func (p *LeasePool) Complete(leaseID string, res *api.UnitResult) error {
 	u.progress = api.Progress{Done: res.Cycles, Total: res.Cycles}
 	j.remaining--
 	ctrLeaseCompleted.Add(1)
+	p.updateUnitGaugesLocked()
 	obs.Emit(p.opts.Sink, obs.Event{
-		Type: obs.EventPhase,
-		Name: "lease/" + j.id,
+		Type:  obs.EventPhase,
+		Name:  "lease/" + j.id,
+		Trace: j.trace,
 		Fields: map[string]any{
 			"event": "completed", "lease": leaseID, "unit": u.wire.Unit,
 			"worker": res.WorkerID, "seconds": res.Seconds,
 		},
+	})
+	p.publishLease(j, api.LeaseEvent{
+		Event: "completed", LeaseID: leaseID, Unit: u.wire.Unit,
+		WorkerID: res.WorkerID, Attempt: u.attempts,
 	})
 	finished := j.remaining == 0
 	if finished {
@@ -473,32 +545,29 @@ func (p *LeasePool) Fail(leaseID string, f api.LeaseFailure) error {
 func (p *LeasePool) requeueLocked(j *distJob, u *poolUnit, event, reason string) {
 	u.attempts++
 	u.leaseID = ""
+	u.state = unitPending
 	if u.attempts >= p.opts.UnitAttempts {
-		u.state = unitPending
 		if j.err == nil && j.remaining > 0 {
 			j.err = api.Errf(api.CodeInternal, false,
 				"unit %d failed %d times, last: %s", u.wire.Unit, u.attempts, reason)
 			close(j.done)
 		}
-		obs.Emit(p.opts.Sink, obs.Event{
-			Type: obs.EventPhase,
-			Name: "lease/" + j.id,
-			Fields: map[string]any{
-				"event": "unit_exhausted", "unit": u.wire.Unit,
-				"attempts": u.attempts, "reason": reason,
-			},
-		})
-		return
+		event = "unit_exhausted"
+	} else {
+		u.notBefore = p.opts.now().Add(p.unitBackoffLocked(u.attempts))
 	}
-	u.state = unitPending
-	u.notBefore = p.opts.now().Add(p.unitBackoffLocked(u.attempts))
+	p.updateUnitGaugesLocked()
 	obs.Emit(p.opts.Sink, obs.Event{
-		Type: obs.EventPhase,
-		Name: "lease/" + j.id,
+		Type:  obs.EventPhase,
+		Name:  "lease/" + j.id,
+		Trace: j.trace,
 		Fields: map[string]any{
 			"event": event, "unit": u.wire.Unit,
 			"attempts": u.attempts, "reason": reason,
 		},
+	})
+	p.publishLease(j, api.LeaseEvent{
+		Event: event, Unit: u.wire.Unit, Attempt: u.attempts, Reason: reason,
 	})
 }
 

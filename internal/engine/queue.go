@@ -39,7 +39,17 @@ var (
 	ctrWatchdogTrips    = obs.Default().Counter("queue.watchdog_trips")
 	ctrDeadlineExceeded = obs.Default().Counter("queue.deadline_exceeded")
 	ctrCheckpointErrors = obs.Default().Counter("queue.checkpoint_errors")
+
+	famQueueJobs   = obs.Default().GaugeFamily("sbst_queue_jobs", "Jobs in the queue, by lifecycle state.", "state")
+	gaugeQueued    = famQueueJobs.Gauge("queued")
+	gaugeRunning   = famQueueJobs.Gauge("running")
+	gaugeCompleted = famQueueJobs.Gauge("completed")
+	gaugeFailed    = famQueueJobs.Gauge("failed")
+	gaugeBreaker   = obs.Default().GaugeFamily("sbst_queue_breaker_open", "1 while the consecutive-failure circuit breaker holds workers paused.").Gauge()
 )
+
+// progressEventPeriod throttles SSE progress publication per job.
+const progressEventPeriod = 100 * time.Millisecond
 
 // Executor runs one job spec to completion. update (never nil) publishes
 // progress snapshots; ctx is cancelled when a drain deadline forces
@@ -94,8 +104,16 @@ type QueueOptions struct {
 	// when the queue runs a distributed executor.
 	DistState func(jobID string) *api.DistState
 
+	// Events, when set, receives the job event stream served over SSE:
+	// state transitions, throttled progress samples, and the terminal
+	// result frame. Share one broker with the lease pool and server.
+	Events *JobEventBroker
+
 	// now overrides the clock in tests.
 	now func() time.Time
+	// traceID overrides trace-ID minting in tests (golden determinism);
+	// default obs.NewTraceID.
+	traceID func() string
 }
 
 // runningJob is the queue's handle on an in-flight execution: the lever
@@ -103,6 +121,7 @@ type QueueOptions struct {
 type runningJob struct {
 	cancel       context.CancelFunc
 	lastProgress atomic.Int64 // UnixNano of the last update callback
+	lastEvent    atomic.Int64 // UnixNano of the last published progress event
 	stuck        atomic.Bool  // set by the watchdog before cancelling
 	injected     bool         // chaos queue.job.cancel armed for this run
 }
@@ -166,6 +185,9 @@ func NewQueue(opts QueueOptions) *Queue {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	if opts.traceID == nil {
+		opts.traceID = obs.NewTraceID
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Queue{
 		opts:      opts,
@@ -212,6 +234,12 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 		return Job{}, ErrDraining
 	}
 	q.nextID++
+	if spec.TraceID == "" {
+		// Mint the campaign trace ID here, at the top of the funnel:
+		// every span and event this job produces — queue, lease pool,
+		// workers — carries it from now on.
+		spec.TraceID = q.opts.traceID()
+	}
 	j := &Job{
 		ID:      fmt.Sprintf("job-%04d", q.nextID),
 		Spec:    spec,
@@ -228,9 +256,49 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
 	snap := snapshotJob(j)
+	q.updateGaugesLocked()
 	q.mu.Unlock()
 	q.emit(snap, "submitted")
+	q.publishState(snap)
 	return snap, nil
+}
+
+// updateGaugesLocked refreshes the queue-depth gauges. Caller holds
+// q.mu; the scan is O(jobs), acceptable at queue scale.
+func (q *Queue) updateGaugesLocked() {
+	var counts [4]float64
+	for _, j := range q.jobs {
+		switch j.State {
+		case JobQueued:
+			counts[0]++
+		case JobRunning:
+			counts[1]++
+		case JobCompleted:
+			counts[2]++
+		case JobFailed:
+			counts[3]++
+		}
+	}
+	gaugeQueued.Set(counts[0])
+	gaugeRunning.Set(counts[1])
+	gaugeCompleted.Set(counts[2])
+	gaugeFailed.Set(counts[3])
+}
+
+// publishState emits a lifecycle JobEvent (terminal states publish a
+// result frame instead, via publishTerminal).
+func (q *Queue) publishState(j Job) {
+	q.opts.Events.Publish(api.JobEvent{
+		Type: api.JobEventState, JobID: j.ID, TraceID: j.Spec.TraceID, State: j.State,
+	})
+}
+
+// publishTerminal emits the stream-closing result frame.
+func (q *Queue) publishTerminal(j Job) {
+	q.opts.Events.Publish(api.JobEvent{
+		Type: api.JobEventResult, JobID: j.ID, TraceID: j.Spec.TraceID,
+		State: j.State, Result: j.Result, Error: j.Error,
+	})
 }
 
 // Get returns a snapshot of one job.
@@ -354,6 +422,7 @@ func (q *Queue) breakerWait() bool {
 		wait := q.breakerOpen.Sub(q.opts.now())
 		q.mu.Unlock()
 		if wait <= 0 {
+			gaugeBreaker.Set(0)
 			return true
 		}
 		if wait > 50*time.Millisecond {
@@ -397,6 +466,7 @@ func (q *Queue) run(id string) {
 	j.Error = ""
 	jctx, cancel := q.jobContext(j.Spec)
 	jctx = withJobID(jctx, id)
+	jctx = withTraceID(jctx, j.Spec.TraceID)
 	rj := &runningJob{cancel: cancel}
 	rj.touch()
 	// Chaos point: a job whose context is yanked mid-flight for no
@@ -408,14 +478,31 @@ func (q *Queue) run(id string) {
 	}
 	q.running[id] = rj
 	snap := snapshotJob(j)
+	q.updateGaugesLocked()
 	q.mu.Unlock()
 	q.emit(snap, "started")
+	q.publishState(snap)
 
+	trace := snap.Spec.TraceID
 	update := func(p Progress) {
 		rj.touch()
 		q.mu.Lock()
 		j.Progress = p
 		q.mu.Unlock()
+		// Feed the SSE stream from the same rollup, throttled per job;
+		// the final sample (Done == Total) always goes out so followers
+		// see 100% before the result frame.
+		now := time.Now().UnixNano()
+		last := rj.lastEvent.Load()
+		if now-last >= int64(progressEventPeriod) || (p.Total > 0 && p.Done >= p.Total) {
+			if rj.lastEvent.CompareAndSwap(last, now) {
+				pc := p
+				q.opts.Events.Publish(api.JobEvent{
+					Type: api.JobEventProgress, JobID: id, TraceID: trace,
+					State: JobRunning, Progress: &pc,
+				})
+			}
+		}
 	}
 	start := time.Now()
 	res, err, panicked := q.execute(jctx, j.Spec, update)
@@ -474,8 +561,14 @@ func (q *Queue) run(id string) {
 		q.failStreakLocked()
 	}
 	snap = snapshotJob(j)
+	q.updateGaugesLocked()
 	q.mu.Unlock()
 	q.emit(snap, string(snap.State))
+	if snap.State == JobCompleted || snap.State == JobFailed {
+		q.publishTerminal(snap)
+	} else {
+		q.publishState(snap)
+	}
 	if snap.State == JobCompleted || snap.State == JobFailed {
 		if q.opts.Checkpoint != "" {
 			if cerr := q.Checkpoint(); cerr != nil {
@@ -561,6 +654,7 @@ func (q *Queue) failStreakLocked() {
 	q.failStreak = 0
 	q.breakerOpen = q.opts.now().Add(q.opts.BreakerCooldown)
 	ctrBreakerTrips.Add(1)
+	gaugeBreaker.Set(1)
 	obs.Emit(q.opts.Sink, obs.Event{
 		Type: obs.EventPhase,
 		Name: "queue",
@@ -625,8 +719,9 @@ func (q *Queue) execute(ctx context.Context, spec JobSpec, update func(Progress)
 
 func (q *Queue) emit(j Job, what string) {
 	obs.Emit(q.opts.Sink, obs.Event{
-		Type: obs.EventPhase,
-		Name: "queue/" + j.ID,
+		Type:  obs.EventPhase,
+		Name:  "queue/" + j.ID,
+		Trace: j.Spec.TraceID,
 		Fields: map[string]any{
 			"event":    what,
 			"kind":     string(j.Spec.Kind),

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/api"
@@ -31,6 +33,10 @@ type ServerOptions struct {
 	// pull work units from it and upload detection bitmaps back. Nil
 	// runs a jobs-only (single-process) server.
 	Pool *LeasePool
+	// Events enables GET /v1/jobs/{id}/events, the SSE job event
+	// stream. Wire the same broker into QueueOptions.Events and
+	// PoolOptions.Events so all three publish into one sequence.
+	Events *JobEventBroker
 }
 
 // Server exposes a Queue (and optionally a LeasePool) over the
@@ -40,8 +46,10 @@ type ServerOptions struct {
 //	GET  /v1/jobs                    list jobs in submission order
 //	GET  /v1/jobs/{id}               one job's state and progress snapshot
 //	GET  /v1/jobs/{id}/result        the completed result (409 until terminal)
+//	GET  /v1/jobs/{id}/events        SSE stream of job events (Last-Event-ID resume)
 //	GET  /v1/healthz                 liveness + queue and lease occupancy
 //	GET  /v1/meta                    API capabilities document
+//	GET  /v1/metrics                 Prometheus text-format metrics
 //	POST /v1/leases                  acquire a work-unit lease (204 = no work)
 //	POST /v1/leases/{id}/heartbeat   extend a lease, report unit progress
 //	POST /v1/leases/{id}/result      upload a finished unit's bitmaps
@@ -104,6 +112,7 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 		{"GET /jobs/{id}/result", s.result, true},
 		{"GET /healthz", s.health, true},
 		{"GET /meta", s.meta, false},
+		{"GET /metrics", s.metrics, false},
 		{"POST /leases", s.leaseAcquire, false},
 		{"POST /leases/{id}/heartbeat", s.leaseHeartbeat, false},
 		{"POST /leases/{id}/result", s.leaseResult, false},
@@ -129,6 +138,13 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 		timeoutBody, _ := json.Marshal(api.Errf(api.CodeTimeout, true, "request timed out"))
 		s.handler = http.TimeoutHandler(inner, opts.RequestTimeout, string(timeoutBody))
 	}
+	// The SSE stream lives outside the timeout wrapper: a follow is
+	// long-lived by design, and http.TimeoutHandler's ResponseWriter
+	// implements no Flusher. Load shedding in ServeHTTP still applies.
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET "+api.Prefix+"/jobs/{id}/events", s.events)
+	outer.Handle("/", s.handler)
+	s.handler = outer
 	return s
 }
 
@@ -244,9 +260,12 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 // meta is the capabilities document: what this server speaks, so
 // clients and workers can verify compatibility before doing work.
 func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
-	caps := []string{"jobs", "checkpoint"}
+	caps := []string{"jobs", "checkpoint", "metrics"}
 	if s.pool != nil {
 		caps = append(caps, "leases")
+	}
+	if s.opts.Events != nil {
+		caps = append(caps, "events")
 	}
 	writeJSON(w, http.StatusOK, api.Meta{
 		Service:      "sbstd",
@@ -255,7 +274,134 @@ func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
 		JobKinds:     api.JobKinds(),
 		VectorKinds:  api.VectorKinds(),
 		Capabilities: caps,
+		Obs:          metaObs(),
 	})
+}
+
+// ctrGateEvalsMeta reads the fault simulator's lifetime gate-eval count
+// for the meta snapshot (same counter the bench reports through).
+var ctrGateEvalsMeta = obs.Default().Counter("faultsim.gate_evals")
+
+// metaObs assembles the /v1/meta observability summary.
+func metaObs() *api.MetaObs {
+	return &api.MetaObs{
+		GateEvals:          ctrGateEvalsMeta.Load(),
+		VectorsPerSec:      gaugeVectorsPerSec.Load(),
+		HeartbeatP99Millis: histHeartbeatGap.Quantile(0.99) * 1000,
+	}
+}
+
+// metrics serves the process-wide registry in the Prometheus text
+// exposition format.
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.Default().WritePrometheus(w)
+}
+
+// events serves GET /v1/jobs/{id}/events: the job's event stream as
+// Server-Sent Events. Each frame's SSE id is the JobEvent's Seq;
+// clients resume with Last-Event-ID (or ?after=N). The stream ends
+// after the terminal result frame. A subscriber that lags behind the
+// broker's buffer is transparently re-subscribed from its last frame.
+func (s *Server) events(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.q.Get(id); !ok {
+		writeAPIErr(w, api.Errf(api.CodeNotFound, false, "unknown job %s", id))
+		return
+	}
+	if s.opts.Events == nil {
+		writeAPIErr(w, api.Errf(api.CodeUnavailable, false, "this server runs without an event stream"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeAPIErr(w, api.Errf(api.CodeUnavailable, false, "connection does not support streaming"))
+		return
+	}
+	last := int64(0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		last, _ = strconv.ParseInt(v, 10, 64)
+	} else if v := r.URL.Query().Get("after"); v != "" {
+		last, _ = strconv.ParseInt(v, 10, 64)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	keepalive := time.NewTicker(15 * time.Second)
+	defer keepalive.Stop()
+	for {
+		replay, ch, cancel := s.opts.Events.Subscribe(id, last)
+		for _, ev := range replay {
+			if !writeSSE(w, ev) {
+				cancel()
+				return
+			}
+			last = ev.Seq
+			if ev.Type == api.JobEventResult {
+				fl.Flush()
+				cancel()
+				return
+			}
+		}
+		// A job that went terminal before the broker saw it (restored
+		// from a checkpoint, or its ring trimmed past the result frame)
+		// will never publish again: synthesize the terminal frame from
+		// the job snapshot — same Result pointer the polled route serves.
+		if job, ok := s.q.Get(id); ok && (job.State == JobCompleted || job.State == JobFailed) {
+			writeSSE(w, api.JobEvent{
+				Seq: last + 1, Type: api.JobEventResult, JobID: id,
+				TraceID: job.Spec.TraceID, State: job.State,
+				Result: job.Result, Error: job.Error,
+			})
+			fl.Flush()
+			cancel()
+			return
+		}
+		fl.Flush()
+	live:
+		for {
+			select {
+			case <-r.Context().Done():
+				cancel()
+				return
+			case <-keepalive.C:
+				if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+					cancel()
+					return
+				}
+				fl.Flush()
+			case ev, open := <-ch:
+				if !open {
+					// Lagged out of the broker's buffer; re-subscribe and
+					// replay what we missed.
+					break live
+				}
+				if !writeSSE(w, ev) {
+					cancel()
+					return
+				}
+				fl.Flush()
+				last = ev.Seq
+				if ev.Type == api.JobEventResult {
+					cancel()
+					return
+				}
+			}
+		}
+		cancel()
+	}
+}
+
+// writeSSE renders one SSE frame; false on a dead connection.
+func writeSSE(w io.Writer, ev api.JobEvent) bool {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return false
+	}
+	_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err == nil
 }
 
 // leasePool gates the lease endpoints on distributed mode.

@@ -150,6 +150,7 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 		}
 		applied = end
 		ctrGateEvals.Add(segEvals)
+		ctrGateEvalsCompiled.Add(segEvals)
 		ctrGateEvalsSaved.Add(segSaved)
 		span.Add("gate_evals", segEvals)
 		span.Add("gate_evals_saved", segSaved)

@@ -23,6 +23,14 @@ var (
 	// several) — comparable to within the decomposition factor.
 	ctrGateEvals      = obs.Default().Counter("faultsim.gate_evals")
 	ctrGateEvalsSaved = obs.Default().Counter("faultsim.gate_evals_saved")
+
+	// Per-kernel split of the same gate-evaluation tally, exposed on
+	// /v1/metrics so a mixed fleet can attribute load to the kernel that
+	// executed it.
+	famKernelGateEvals = obs.Default().CounterFamily("sbst_kernel_gate_evals_total",
+		"Gate evaluations executed, by simulation kernel.", "kernel")
+	ctrGateEvalsRef      = famKernelGateEvals.Counter("reference")
+	ctrGateEvalsCompiled = famKernelGateEvals.Counter("compiled")
 )
 
 // Kernel selects the simulation engine backing Simulate.
@@ -488,6 +496,7 @@ func simulateReference(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Resul
 		goodState, nextGoodState = nextGoodState, goodState
 		applied = end
 		ctrGateEvals.Add(segEvals)
+		ctrGateEvalsRef.Add(segEvals)
 		span.Add("gate_evals", segEvals)
 		span.Add("gate_evals_saved", 0)
 		r.finishSegment(span, opts, survivors, end, total)

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 )
@@ -17,6 +18,9 @@ type Config struct {
 	Verbose    bool
 	CPUProfile string
 	Workers    int
+	// Source names this process in the trace_open header of its NDJSON
+	// trace ("sbstd", a worker ID). Defaults to the binary name.
+	Source string
 }
 
 // Flags registers the bundle on the default flag set (call before
@@ -57,6 +61,11 @@ func (c *Config) Start() (*Runtime, error) {
 		}
 		rt.traceF = f
 		rt.ndjson = NewNDJSONSink(f)
+		source := c.Source
+		if source == "" {
+			source = fmt.Sprintf("%s-%d", filepath.Base(os.Args[0]), os.Getpid())
+		}
+		AnnounceTrace(rt.ndjson, source)
 	}
 	if c.Verbose {
 		rt.renderer = NewRenderer(os.Stderr)
@@ -110,6 +119,17 @@ func (r *Runtime) Span(name string) *Span {
 		return nil
 	}
 	return NewSpan(r.sink, name)
+}
+
+// Flush drains the NDJSON trace buffer to disk without closing
+// anything. Daemons call it the moment a drain begins, so a process
+// killed mid-shutdown (or mid-lease) has already persisted its tail
+// events. Safe on a nil or traceless runtime.
+func (r *Runtime) Flush() error {
+	if r == nil || r.ndjson == nil {
+		return nil
+	}
+	return r.ndjson.Flush()
 }
 
 // Close emits a final default-registry counters snapshot, flushes the

@@ -44,6 +44,9 @@ func (s *NDJSONSink) Emit(ev Event) {
 	obj["t"] = t
 	obj["type"] = ev.Type
 	obj["name"] = ev.Name
+	if ev.Trace != "" {
+		obj["trace"] = ev.Trace
+	}
 	line, err := json.Marshal(obj)
 	if err != nil {
 		return

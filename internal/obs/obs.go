@@ -54,6 +54,10 @@ type Event struct {
 	Type string
 	// Name is the hierarchical span/event name, "/"-separated.
 	Name string
+	// Trace is the campaign trace ID this event belongs to, empty for
+	// untraced events. NDJSON sinks serialize it as "trace"; WithTrace
+	// stamps it on every event passing through a sink.
+	Trace string
 	// Fields is the event payload. Values must be JSON-encodable.
 	Fields map[string]any
 }

@@ -14,9 +14,10 @@ type Counter struct {
 	v atomic.Int64
 }
 
-// Add increments the counter. Nil-safe.
+// Add increments the counter. Nil-safe; a no-op while metrics are
+// disarmed (SetArmed(false)).
 func (c *Counter) Add(delta int64) {
-	if c != nil {
+	if c != nil && !disarmed.Load() {
 		c.v.Add(delta)
 	}
 }
@@ -43,6 +44,7 @@ func (c *Counter) Load() int64 {
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	families map[string]*Family
 }
 
 // NewRegistry returns an empty registry.
@@ -96,12 +98,25 @@ func (r *Registry) Names() []string {
 	return names
 }
 
-// Reset zeroes every counter (tests and repeated in-process runs).
+// Reset zeroes every counter and every family child (tests and
+// repeated in-process runs). Family schemas and children survive —
+// only their values are cleared.
 func (r *Registry) Reset() {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, c := range r.counters {
 		c.Set(0)
+	}
+	for _, f := range r.families {
+		f.mu.RLock()
+		for _, ch := range f.children {
+			ch.counter.Set(0)
+			ch.gauge.Set(0)
+			if ch.hist != nil {
+				ch.hist.reset()
+			}
+		}
+		f.mu.RUnlock()
 	}
 }
 

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Distributed trace correlation. A trace ID is minted once per job at
+// submission, rides the /v1 wire types (JobSpec.TraceID), and every
+// process touching the job — coordinator queue, lease pool, workers —
+// stamps it on the events it emits. cmd/sbst-trace then merges the
+// per-process NDJSON files into one campaign timeline.
+
+// EventTraceOpen is the first event a process writes to its NDJSON
+// trace: Name identifies the emitting process (worker ID, "sbstd"),
+// and Fields carry "epoch_unix" (the sink's epoch as Unix seconds) so
+// mergers can place the file's relative timestamps on an absolute
+// axis, plus "pid".
+const EventTraceOpen = "trace_open"
+
+// NewTraceID mints a 16-hex-digit random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible; degrade to a
+		// still-unique-enough pid+time ID rather than failing the run.
+		return fmt.Sprintf("%08x%08x", os.Getpid(), time.Now().UnixNano()&0xffffffff)
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceSink stamps a fixed trace ID on every event passing through.
+type traceSink struct {
+	sink  Sink
+	trace string
+}
+
+func (t traceSink) Emit(ev Event) {
+	if ev.Trace == "" {
+		ev.Trace = t.trace
+	}
+	t.sink.Emit(ev)
+}
+
+// WithTrace wraps sink so every emitted event carries trace (events
+// already stamped keep their own). Nil sink or empty trace returns the
+// sink unchanged, preserving the nil-sink fast path at emission sites.
+func WithTrace(sink Sink, trace string) Sink {
+	if sink == nil || trace == "" {
+		return sink
+	}
+	return traceSink{sink: sink, trace: trace}
+}
+
+// AnnounceTrace emits the trace_open header event identifying source
+// as the process writing to sink, with the current absolute time. Call
+// it immediately after opening an NDJSON sink, so "epoch_unix" aligns
+// with the sink's t=0 to within scheduling noise.
+func AnnounceTrace(sink Sink, source string) {
+	Emit(sink, Event{Type: EventTraceOpen, Name: source, Fields: map[string]any{
+		"epoch_unix": float64(time.Now().UnixNano()) / 1e9,
+		"pid":        os.Getpid(),
+	}})
+}

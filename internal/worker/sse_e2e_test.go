@@ -1,0 +1,269 @@
+package worker
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/tracemerge"
+)
+
+// traceFile is one process's NDJSON trace in the fleet-telemetry e2e.
+type traceFile struct {
+	path string
+	f    *os.File
+	sink *obs.NDJSONSink
+}
+
+func newTraceFile(t *testing.T, dir, source string) *traceFile {
+	t.Helper()
+	path := filepath.Join(dir, source+".ndjson")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.NewNDJSONSink(f)
+	obs.AnnounceTrace(sink, source)
+	return &traceFile{path: path, f: f, sink: sink}
+}
+
+func (tf *traceFile) close(t *testing.T) {
+	t.Helper()
+	if err := tf.sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tf.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSSEFollowAndTraceMergeE2E is the fleet-telemetry e2e: a
+// distributed campaign on a coordinator with two workers — one killed
+// mid-lease — followed live over the SSE event stream. The terminal SSE
+// frame must be bit-identical to the polled /v1/result answer, and
+// merging the three processes' NDJSON traces must produce one timeline
+// whose spans come from all three under the job's single trace ID.
+func TestSSEFollowAndTraceMergeE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed e2e in -short mode")
+	}
+	dir := t.TempDir()
+	coordTrace := newTraceFile(t, dir, "sbstd")
+	w1Trace := newTraceFile(t, dir, "w1")
+	doomedTrace := newTraceFile(t, dir, "doomed")
+
+	spec := api.JobSpec{
+		Kind:       api.JobFaultSim,
+		Vectors:    api.VectorSource{Kind: api.VecBIST, Count: 240, Seed: 7},
+		SegmentLen: 64,
+	}
+
+	events := engine.NewJobEventBroker()
+	pool := engine.NewLeasePool(engine.PoolOptions{
+		TTL:          time.Second,
+		UnitAttempts: 3,
+		RetryBase:    time.Millisecond,
+		RetryMax:     5 * time.Millisecond,
+		Sink:         coordTrace.sink,
+		Events:       events,
+	})
+	defer pool.Close()
+	exec := engine.NewDistExecutor(engine.ExecConfig{Workers: 2, Sink: coordTrace.sink},
+		pool, engine.DistOptions{Units: 4})
+	q := engine.NewQueue(engine.QueueOptions{
+		Workers:    1,
+		MaxPending: 8,
+		Exec:       exec,
+		DistState:  pool.SnapshotJob,
+		Sink:       coordTrace.sink,
+		Events:     events,
+	})
+	q.Start()
+	srv := httptest.NewServer(engine.NewServerWith(q, engine.ServerOptions{Pool: pool, Events: events}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fastClient := func() *client.Client {
+		return client.New(srv.URL, client.Options{
+			RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond, MaxRetries: 4,
+		})
+	}
+	c := fastClient()
+
+	job, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Spec.TraceID == "" {
+		t.Fatal("submission minted no trace ID")
+	}
+
+	// Follow the job live over SSE while the fleet works.
+	type followOut struct {
+		res *api.JobResult
+		err error
+	}
+	var followEvents []api.JobEvent
+	var evMu sync.Mutex
+	followCh := make(chan followOut, 1)
+	go func() {
+		res, err := c.Follow(client.WithTraceID(ctx, job.Spec.TraceID), job.ID, 0, func(ev api.JobEvent) {
+			evMu.Lock()
+			followEvents = append(followEvents, ev)
+			evMu.Unlock()
+		})
+		followCh <- followOut{res, err}
+	}()
+
+	// The doomed worker: acquire the first lease, heartbeat once, start
+	// simulating with its own traced sink, get killed mid-unit (context
+	// cancelled at the first segment boundary), and never report back —
+	// the lease must expire on TTL and the unit requeue.
+	var doomed *api.Lease
+	for doomed == nil {
+		if ctx.Err() != nil {
+			t.Fatal("no lease offered before timeout")
+		}
+		if doomed, err = c.AcquireLease(ctx, "doomed"); err != nil {
+			t.Fatal(err)
+		}
+		if doomed == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if _, err := c.HeartbeatLease(ctx, doomed.ID, api.Heartbeat{WorkerID: "doomed"}); err != nil {
+		t.Fatalf("doomed heartbeat: %v", err)
+	}
+	dctx, dcancel := context.WithCancel(ctx)
+	_, derr := engine.RunWorkUnit(dctx, "doomed", doomed.Unit,
+		engine.ExecConfig{Workers: 2, Sink: doomedTrace.sink},
+		func(p api.Progress) { dcancel() })
+	dcancel()
+	if derr == nil {
+		t.Fatal("doomed unit ran to completion despite cancellation")
+	}
+
+	// The one honest worker finishes the campaign, re-running the
+	// doomed unit after its lease expires.
+	wctx, stopWorker := context.WithCancel(ctx)
+	defer stopWorker()
+	var wg sync.WaitGroup
+	w := New(Options{
+		Coordinator: srv.URL,
+		ID:          "w1",
+		Poll:        10 * time.Millisecond,
+		Exec:        engine.ExecConfig{Workers: 1, Sink: w1Trace.sink},
+		Client:      fastClient(),
+		Sink:        w1Trace.sink,
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := w.Run(wctx); err != nil {
+			t.Errorf("worker w1: %v", err)
+		}
+	}()
+
+	var followed followOut
+	select {
+	case followed = <-followCh:
+	case <-ctx.Done():
+		t.Fatal("SSE follow did not finish before timeout")
+	}
+	stopWorker()
+	wg.Wait()
+	if followed.err != nil {
+		t.Fatalf("Follow: %v", followed.err)
+	}
+
+	// The terminal SSE frame must match the polled result bit for bit.
+	polled, err := c.Result(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("polled result: %v", err)
+	}
+	fj, _ := json.Marshal(followed.res)
+	pj, _ := json.Marshal(polled)
+	if string(fj) != string(pj) {
+		t.Fatalf("SSE result %s != polled result %s", fj, pj)
+	}
+
+	// The stream saw the whole lifecycle under one trace.
+	evMu.Lock()
+	evs := append([]api.JobEvent(nil), followEvents...)
+	evMu.Unlock()
+	sawState, sawLease, sawResult := false, false, false
+	lastSeq := int64(0)
+	for _, ev := range evs {
+		if ev.Seq <= lastSeq {
+			t.Fatalf("SSE sequence not increasing: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.TraceID != job.Spec.TraceID {
+			t.Fatalf("event %+v carries trace %q, want %q", ev, ev.TraceID, job.Spec.TraceID)
+		}
+		switch ev.Type {
+		case api.JobEventState:
+			sawState = true
+		case api.JobEventLease:
+			sawLease = true
+		case api.JobEventResult:
+			sawResult = true
+		}
+	}
+	if !sawState || !sawLease || !sawResult {
+		t.Fatalf("stream missing event types: state=%v lease=%v result=%v (%d events)",
+			sawState, sawLease, sawResult, len(evs))
+	}
+
+	// A second Follow after the fact replays to the identical terminal
+	// result (Last-Event-ID resume path over a finished job).
+	res2, err := c.Follow(ctx, job.ID, 0, nil)
+	if err != nil {
+		t.Fatalf("replay Follow: %v", err)
+	}
+	rj, _ := json.Marshal(res2)
+	if string(rj) != string(pj) {
+		t.Fatalf("replayed SSE result %s != polled result %s", rj, pj)
+	}
+
+	// Merge the three NDJSON traces: one timeline, all three processes.
+	coordTrace.close(t)
+	w1Trace.close(t)
+	doomedTrace.close(t)
+	tl, err := tracemerge.MergeFiles(
+		[]string{coordTrace.path, w1Trace.path, doomedTrace.path}, job.Spec.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Trace != job.Spec.TraceID {
+		t.Fatalf("merged trace %q, want %q", tl.Trace, job.Spec.TraceID)
+	}
+	spansBySource := make(map[string]int)
+	for _, s := range tl.Spans {
+		spansBySource[s.Source]++
+	}
+	for _, src := range []string{"sbstd", "w1", "doomed"} {
+		if spansBySource[src] == 0 {
+			t.Fatalf("merged timeline has no spans from %s (got %v)", src, spansBySource)
+		}
+	}
+	if len(tl.Sources) != 3 {
+		t.Fatalf("merged sources %v, want all three processes", tl.Sources)
+	}
+
+	drainCtx, dcancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel2()
+	if err := q.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -24,6 +24,15 @@ var (
 	ctrUnitsDone   = obs.Default().Counter("worker.units_done")
 	ctrUnitsFailed = obs.Default().Counter("worker.units_failed")
 	ctrLeasesLost  = obs.Default().Counter("worker.leases_lost")
+
+	// Labeled twins of the flat counters above, for /v1/metrics scrapes
+	// (the -metrics-addr listener on sbst-worker).
+	famUnits      = obs.Default().CounterFamily("sbst_worker_units_total", "Leased units by outcome.", "outcome")
+	ctrUnitsDoneL = famUnits.Counter("done")
+	ctrUnitsFailL = famUnits.Counter("failed")
+	ctrLeaseLostL = famUnits.Counter("lease_lost")
+	histHeartbeat = obs.Default().HistogramFamily("sbst_worker_heartbeat_seconds",
+		"Round-trip time of lease heartbeats to the coordinator.", nil).Histogram()
 )
 
 // Options configure New.
@@ -133,6 +142,12 @@ func (w *Worker) idle(ctx context.Context) {
 // runUnit simulates one leased unit under a heartbeat, then uploads the
 // result or reports the failure.
 func (w *Worker) runUnit(ctx context.Context, lease *api.Lease) {
+	// Every call made for this unit — heartbeats, result upload, failure
+	// report — carries the campaign's trace ID as X-Trace-Id, and every
+	// lifecycle event lands in the worker's NDJSON trace under the same
+	// ID, so sbst-trace can stitch coordinator and fleet into one
+	// timeline.
+	ctx = client.WithTraceID(ctx, lease.Unit.Spec.TraceID)
 	w.emit(lease, "unit_start", nil)
 	uctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -164,10 +179,13 @@ func (w *Worker) runUnit(ctx context.Context, lease *api.Lease) {
 		mu.Lock()
 		p := last
 		mu.Unlock()
+		sent := time.Now()
 		_, err := w.c.HeartbeatLease(uctx, lease.ID, api.Heartbeat{WorkerID: w.opts.ID, Progress: p})
+		histHeartbeat.Observe(time.Since(sent).Seconds())
 		var ae *api.Error
 		if api.AsError(err, &ae) && ae.Code == api.CodeLeaseGone {
 			ctrLeasesLost.Add(1)
+			ctrLeaseLostL.Add(1)
 			w.emit(lease, "lease_lost", nil)
 			cancel()
 			return false
@@ -204,6 +222,7 @@ func (w *Worker) runUnit(ctx context.Context, lease *api.Lease) {
 
 	if err != nil {
 		ctrUnitsFailed.Add(1)
+		ctrUnitsFailL.Add(1)
 		w.emit(lease, "unit_failed", map[string]any{"error": err.Error()})
 		// Interrupted or transient failures are the fleet's problem to
 		// absorb (another lease, another worker); terminal ones (core
@@ -220,10 +239,12 @@ func (w *Worker) runUnit(ctx context.Context, lease *api.Lease) {
 	// finished, losing the result would only make the fleet redo it.
 	if err := w.c.CompleteLease(context.WithoutCancel(ctx), lease.ID, res); err != nil {
 		ctrUnitsFailed.Add(1)
+		ctrUnitsFailL.Add(1)
 		w.emit(lease, "upload_rejected", map[string]any{"error": err.Error()})
 		return
 	}
 	ctrUnitsDone.Add(1)
+	ctrUnitsDoneL.Add(1)
 	w.emit(lease, "unit_done", map[string]any{"cycles": res.Cycles})
 }
 
@@ -238,7 +259,10 @@ func (w *Worker) emit(lease *api.Lease, event string, extra map[string]any) {
 	for k, v := range extra {
 		fields[k] = v
 	}
-	obs.Emit(w.opts.Sink, obs.Event{Type: obs.EventPhase, Name: "worker/" + w.opts.ID, Fields: fields})
+	obs.Emit(w.opts.Sink, obs.Event{
+		Type: obs.EventPhase, Name: "worker/" + w.opts.ID,
+		Trace: lease.Unit.Spec.TraceID, Fields: fields,
+	})
 }
 
 // IsTerminal reports whether a Run error is a startup handshake
