@@ -1,10 +1,14 @@
-// Command faultsim fault-simulates an instruction stream against the
-// gate-level DSP core and reports stuck-at coverage, per-component
-// breakdowns and an optional coverage-vs-vectors curve.
+// Command faultsim fault-simulates a stimulus stream against a design
+// from the registry (the gate-level DSP core by default) and reports
+// stuck-at coverage, per-component breakdowns and an optional
+// coverage-vs-vectors curve.
 //
+// -design selects the circuit: "dsp" (default), a generated family
+// member like "fam/w8r4s1l1p2", or a bundled netlist like "bench/c432".
 // The stream comes either from a self-test program file (assembler
-// syntax, looped -iters times through the template architecture) or
-// from the raw pseudorandom-BIST LFSR (-bist).
+// syntax, looped -iters times through the template architecture; dsp
+// only) or from pseudorandom-BIST vectors (-bist; width-matched to the
+// design's input port).
 //
 // Progress renders as a throttled status line on stderr; -trace writes
 // the structured NDJSON event stream, -v adds span/summary lines,
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/bist"
 	"repro/internal/chaos"
+	"repro/internal/designs"
 	"repro/internal/dspgate"
 	"repro/internal/engine"
 	"repro/internal/fault"
@@ -31,9 +36,10 @@ import (
 )
 
 func main() {
-	progPath := flag.String("prog", "", "self-test program file (assembler syntax)")
+	designID := flag.String("design", "dsp", "design to simulate: dsp, fam/<params>, or bench/<name>")
+	progPath := flag.String("prog", "", "self-test program file (assembler syntax; dsp design only)")
 	iters := flag.Int("iters", 1000, "loop iterations through the program")
-	useBist := flag.Bool("bist", false, "use raw 17-bit LFSR vectors instead of a program")
+	useBist := flag.Bool("bist", false, "use raw pseudorandom LFSR vectors instead of a program")
 	count := flag.Int("count", bist.FullPeriod, "number of BIST vectors with -bist")
 	curve := flag.Bool("curve", false, "print a coverage-vs-vectors curve")
 	quality := flag.Bool("quality", false, "grade all fault models (stuck-at, n-detect, transition, bridging, path delay)")
@@ -68,11 +74,23 @@ func main() {
 		defer cancel()
 	}
 
+	d, err := engine.GetDesign(*designID)
+	if err != nil {
+		fail(err)
+	}
+
 	var vecs fault.Vectors
 	switch {
 	case *useBist:
-		vecs = bist.PseudorandomVectors(*count, uint64(*seed))
+		if d.InstructionDriven() {
+			vecs = bist.PseudorandomVectors(*count, uint64(*seed))
+		} else {
+			vecs = designs.PseudorandomVectors(len(d.Netlist.Inputs()), *count, uint64(*seed))
+		}
 	case *progPath != "":
+		if !d.InstructionDriven() {
+			fail(fmt.Errorf("design %s has no instruction port; -prog needs -design dsp", d.ID))
+		}
 		src, err := os.ReadFile(*progPath)
 		if err != nil {
 			fail(err)
@@ -87,14 +105,10 @@ func main() {
 		fail(fmt.Errorf("need -prog or -bist"))
 	}
 
-	core, err := dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("core: %+v\n", core.Netlist.Stats())
+	fmt.Printf("design %s (hash %s): %+v\n", d.ID, d.Hash, d.Netlist.Stats())
 	fmt.Printf("simulating %d vectors...\n", vecs.Len())
 	if *quality {
-		rep, err := fault.Quality(core.Netlist, vecs, fault.QualityOptions{
+		rep, err := fault.Quality(d.Netlist, vecs, fault.QualityOptions{
 			NDetect:      5,
 			BridgeSample: 50,
 			PathPairs:    200,
@@ -107,10 +121,11 @@ func main() {
 		fmt.Print(rep)
 		return
 	}
-	res, err := engine.Simulate(core.Netlist, vecs, engine.SimOptions{
+	res, err := engine.Simulate(d.Netlist, vecs, engine.SimOptions{
 		SimOptions: fault.SimOptions{
-			Sink: sink,
-			Ctx:  ctx,
+			Faults: d.Faults,
+			Sink:   sink,
+			Ctx:    ctx,
 		},
 		Workers: obsCfg.Workers,
 	})
@@ -123,13 +138,17 @@ func main() {
 	}
 	fmt.Printf("\nfault coverage: %.2f%% (%d/%d collapsed faults)\n",
 		100*res.Coverage(), res.Detected(), len(res.Faults))
-	fmt.Println("\nper-component coverage:")
-	for _, region := range dspgate.ComponentRegions {
-		det, tot := res.RegionCoverage(core.Netlist, region)
-		if tot == 0 {
-			continue
+	// Component regions are a property of the DSP core's build; other
+	// designs report the flat total only.
+	if d.InstructionDriven() {
+		fmt.Println("\nper-component coverage:")
+		for _, region := range dspgate.ComponentRegions {
+			det, tot := res.RegionCoverage(d.Netlist, region)
+			if tot == 0 {
+				continue
+			}
+			fmt.Printf("  %-12s %6d faults  %6.2f%%\n", region, tot, 100*float64(det)/float64(tot))
 		}
-		fmt.Printf("  %-12s %6d faults  %6.2f%%\n", region, tot, 100*float64(det)/float64(tot))
 	}
 	if *curve {
 		fmt.Println("\ncoverage vs vectors:")

@@ -1,11 +1,13 @@
 // Command sbst-worker is one member of a distributed campaign fleet:
 // it polls an sbstd coordinator (started with -distributed) for leased
-// work units, simulates each unit's fault slice against the shared
-// gate-level DSP core, heartbeats while it runs, and uploads the
-// checksummed detection bitmaps. Workers are stateless and
-// interchangeable — kill one mid-unit and its lease expires back into
-// the pool; start more and the campaign merely finishes sooner. The
-// merged campaign result is bit-identical for any fleet size.
+// work units, simulates each unit's fault slice against the unit's
+// design — resolved from the spec's design ID through the same
+// registry the coordinator uses (an LRU keeps recently built designs
+// hot), heartbeats while it runs, and uploads the checksummed
+// detection bitmaps. Workers are stateless and interchangeable — kill
+// one mid-unit and its lease expires back into the pool; start more
+// and the campaign merely finishes sooner. The merged campaign result
+// is bit-identical for any fleet size.
 //
 //	sbstd -addr :8321 -distributed &
 //	sbst-worker -coordinator http://localhost:8321 &

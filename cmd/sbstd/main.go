@@ -1,12 +1,22 @@
 // Command sbstd is the self-test campaign server: a long-running HTTP
-// daemon that queues fault-simulation, n-detect, sequential-ATPG and
-// composite experiment jobs against the gate-level DSP core and runs
-// them on a worker pool, sharding each fault simulation across cores.
+// daemon that queues fault-simulation, n-detect, sequential-ATPG,
+// composite experiment and campaign-matrix jobs and runs them on a
+// worker pool, sharding each fault simulation across cores. Each job's
+// "design" field selects the simulated circuit from the design
+// registry — the gate-level DSP core by default, a generated family
+// member ("fam/w8r4s1l1p2"), or a bundled .bench netlist
+// ("bench/c432"); GET /v1/meta lists the bundled IDs. A
+// campaign_matrix job sweeps N designs × M stimulus schemes and rolls
+// the per-cell coverage into one table.
 //
 //	sbstd -addr :8321 -checkpoint campaigns.json
 //
 //	curl -X POST localhost:8321/jobs \
 //	     -d '{"kind":"fault_sim","vectors":{"kind":"bist","count":20000}}'
+//	curl -X POST localhost:8321/jobs \
+//	     -d '{"kind":"fault_sim","design":"bench/c432","vectors":{"kind":"bist","count":4096}}'
+//	curl -X POST localhost:8321/jobs \
+//	     -d '{"kind":"campaign_matrix","matrix":{"designs":["dsp","bench/s27"],"schemes":[{"kind":"bist","count":1024}]}}'
 //	curl localhost:8321/jobs/job-0001            # state + progress
 //	curl localhost:8321/jobs/job-0001/result     # coverage numbers
 //	curl localhost:8321/v1/metrics               # Prometheus exposition

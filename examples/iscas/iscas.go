@@ -1,0 +1,49 @@
+// Package iscas bundles the ISCAS-style .bench example netlists that
+// ship with the design registry (internal/designs). The files are
+// embedded so every binary — coordinator, worker, CLI — resolves
+// "bench/<name>" design IDs to the identical netlist bytes with no
+// filesystem dependency; that identity is what lets a worker fleet
+// agree with its coordinator on a design's fault list by construction.
+//
+// s27.bench is the classic tiny sequential benchmark (4 inputs, 1
+// output, 3 flip-flops). c432.bench and c880.bench are
+// ISCAS85-*class* circuits — generated stand-ins with the originals'
+// port shapes (36→7 and 60→26) and comparable gate counts, not the
+// copyrighted originals.
+package iscas
+
+import (
+	"embed"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+//go:embed *.bench
+var files embed.FS
+
+// Names lists the bundled netlist names (without the .bench suffix),
+// sorted.
+func Names() []string {
+	entries, _ := fs.ReadDir(files, ".")
+	var out []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".bench"); ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns the .bench text for a bundled name, or ok=false.
+func Source(name string) (string, bool) {
+	if strings.ContainsAny(name, "/\\.") {
+		return "", false
+	}
+	data, err := files.ReadFile(name + ".bench")
+	if err != nil {
+		return "", false
+	}
+	return string(data), true
+}

@@ -42,30 +42,41 @@ const (
 // schema mismatch from a malformed body.
 var ErrUnknownKind = errors.New("api: unknown kind")
 
+// ErrUnknownDesign marks validation failures caused by a design ID the
+// server's registry cannot resolve. The api package does not know the
+// registry (the wire contract stays free of netlist code), so JobSpec
+// validation cannot raise it; the queue checks the design at submission
+// and wraps this sentinel, which the server maps to 422 with code
+// unknown_design.
+var ErrUnknownDesign = errors.New("api: unknown design")
+
 // JobKind selects the campaign a job runs.
 type JobKind string
 
 // The campaign kinds the executor understands. They mirror the paper's
 // evaluation: plain stuck-at fault simulation, the n-detect quality
 // variant, the bounded sequential-ATPG baseline, and the composite
-// experiment comparing a self-test program against raw BIST.
+// experiment comparing a self-test program against raw BIST. The
+// campaign_matrix kind fans a fault_sim campaign over N designs × M
+// stimulus schemes and rolls the per-cell results into one table.
 const (
-	JobFaultSim   JobKind = "fault_sim"
-	JobNDetect    JobKind = "n_detect"
-	JobSeqATPG    JobKind = "seq_atpg"
-	JobExperiment JobKind = "experiment"
+	JobFaultSim       JobKind = "fault_sim"
+	JobNDetect        JobKind = "n_detect"
+	JobSeqATPG        JobKind = "seq_atpg"
+	JobExperiment     JobKind = "experiment"
+	JobCampaignMatrix JobKind = "campaign_matrix"
 )
 
 // JobKinds lists every valid kind, in a fixed order (meta document,
 // diagnostics).
 func JobKinds() []JobKind {
-	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment}
+	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix}
 }
 
 // Valid reports whether k is a known campaign kind.
 func (k JobKind) Valid() bool {
 	switch k {
-	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment:
+	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix:
 		return true
 	}
 	return false
@@ -116,13 +127,45 @@ type VectorSource struct {
 	OGoodRuns int `json:"o_good_runs,omitempty"`
 }
 
+// MatrixSpec configures a campaign_matrix job: the cross product of
+// Designs × Schemes, each cell an independent fault-simulation
+// campaign on that design with that stimulus.
+type MatrixSpec struct {
+	// Designs lists the design IDs to sweep (registry grammar: "dsp",
+	// "fam/<params>", "bench/<name>").
+	Designs []string `json:"designs"`
+	// Schemes lists the stimulus sources to apply to every design.
+	Schemes []VectorSource `json:"schemes"`
+}
+
+// MatrixCell is one completed cell of a campaign_matrix job.
+type MatrixCell struct {
+	Design string     `json:"design"`
+	Scheme VectorKind `json:"scheme"`
+	// SchemeIndex disambiguates two schemes of the same kind (e.g. two
+	// bist entries with different counts).
+	SchemeIndex int     `json:"scheme_index"`
+	Faults      int     `json:"faults"`
+	Detected    int     `json:"detected"`
+	Cycles      int     `json:"cycles"`
+	Coverage    float64 `json:"coverage"`
+}
+
 // JobSpec is the typed request submitted to the queue (the
 // POST /v1/jobs body).
 type JobSpec struct {
 	Kind JobKind `json:"kind"`
+	// Design selects the circuit the campaign runs against (registry
+	// grammar: "dsp", "fam/<params>", "bench/<name>"). Empty means the
+	// default DSP core, so existing clients are unaffected. Unknown IDs
+	// fail submission with 422 unknown_design.
+	Design string `json:"design,omitempty"`
 	// Vectors is the stimulus source for fault_sim, n_detect and
-	// experiment jobs; seq_atpg generates its own tests.
+	// experiment jobs; seq_atpg generates its own tests and
+	// campaign_matrix takes its schemes from Matrix.
 	Vectors VectorSource `json:"vectors,omitempty"`
+	// Matrix configures campaign_matrix jobs.
+	Matrix *MatrixSpec `json:"matrix,omitempty"`
 	// Workers is the fault-simulation shard count (0 = all cores,
 	// 1 = exact serial path). On a coordinator this bounds each work
 	// unit's local shard count instead.
@@ -156,32 +199,57 @@ type JobSpec struct {
 func (s *JobSpec) Validate() error {
 	switch s.Kind {
 	case JobFaultSim, JobNDetect, JobExperiment:
-		switch s.Vectors.Kind {
-		case VecBIST:
-			if s.Vectors.Count <= 0 {
-				return fmt.Errorf("api: %s job with bist vectors needs count > 0", s.Kind)
-			}
-		case VecProgram:
-			if s.Vectors.Program == "" {
-				return fmt.Errorf("api: %s job with program vectors needs source", s.Kind)
-			}
-			if _, err := isa.Assemble(s.Vectors.Program); err != nil {
-				return fmt.Errorf("api: bad program: %w", err)
-			}
-		case VecSelfTest:
-			// Generated program; all fields optional.
-		default:
-			return fmt.Errorf("%w: vector source %q (want one of %v)", ErrUnknownKind, s.Vectors.Kind, VectorKinds())
+		if err := validateVectorSource(s.Vectors, string(s.Kind)+" job"); err != nil {
+			return err
 		}
 	case JobSeqATPG:
 		if s.Frames < 0 || s.SampleEvery < 0 || s.MaxBacktracks < 0 {
 			return fmt.Errorf("api: negative seq_atpg bounds")
+		}
+	case JobCampaignMatrix:
+		if s.Matrix == nil || len(s.Matrix.Designs) == 0 || len(s.Matrix.Schemes) == 0 {
+			return fmt.Errorf("api: campaign_matrix job needs matrix with designs and schemes")
+		}
+		seen := make(map[string]bool, len(s.Matrix.Designs))
+		for _, d := range s.Matrix.Designs {
+			if seen[d] {
+				return fmt.Errorf("api: campaign_matrix lists design %q twice", d)
+			}
+			seen[d] = true
+		}
+		for i, v := range s.Matrix.Schemes {
+			if err := validateVectorSource(v, fmt.Sprintf("campaign_matrix scheme %d", i)); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("%w: job kind %q (want one of %v)", ErrUnknownKind, s.Kind, JobKinds())
 	}
 	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 || s.DeadlineSec < 0 {
 		return fmt.Errorf("api: negative option")
+	}
+	return nil
+}
+
+// validateVectorSource checks one stimulus source; what names it in
+// error messages ("fault_sim job", "campaign_matrix scheme 1").
+func validateVectorSource(v VectorSource, what string) error {
+	switch v.Kind {
+	case VecBIST:
+		if v.Count <= 0 {
+			return fmt.Errorf("api: %s with bist vectors needs count > 0", what)
+		}
+	case VecProgram:
+		if v.Program == "" {
+			return fmt.Errorf("api: %s with program vectors needs source", what)
+		}
+		if _, err := isa.Assemble(v.Program); err != nil {
+			return fmt.Errorf("api: bad program: %w", err)
+		}
+	case VecSelfTest:
+		// Generated program; all fields optional.
+	default:
+		return fmt.Errorf("%w: vector source %q (want one of %v)", ErrUnknownKind, v.Kind, VectorKinds())
 	}
 	return nil
 }
@@ -226,6 +294,10 @@ type JobResult struct {
 	Aborted    int `json:"aborted,omitempty"`
 	// Sub holds named sub-campaign results for experiment jobs.
 	Sub map[string]*JobResult `json:"sub,omitempty"`
+	// Matrix holds the per-cell table for campaign_matrix jobs, in
+	// designs-major, schemes-minor order. The headline Faults/Detected/
+	// Cycles fields sum over the cells; Coverage is the summed ratio.
+	Matrix []MatrixCell `json:"matrix,omitempty"`
 	// Seconds is the job's wall time.
 	Seconds float64 `json:"seconds,omitempty"`
 }
@@ -283,9 +355,13 @@ type Meta struct {
 	JobKinds    []JobKind    `json:"job_kinds"`
 	VectorKinds []VectorKind `json:"vector_kinds"`
 	// Capabilities names the optional surfaces this instance serves:
-	// "jobs" and "metrics" always; "leases" when running as a
-	// coordinator; "events" when the SSE job-event stream is wired.
+	// "jobs", "metrics" and "designs" always; "leases" when running as
+	// a coordinator; "events" when the SSE job-event stream is wired.
 	Capabilities []string `json:"capabilities"`
+	// Designs lists the bundled design IDs this instance resolves (the
+	// DSP core and every embedded .bench netlist). Family designs are a
+	// parameter space and are not enumerated here.
+	Designs []string `json:"designs,omitempty"`
 	// Obs is a point-in-time health snapshot of the serving process.
 	Obs *MetaObs `json:"obs,omitempty"`
 }

@@ -44,6 +44,21 @@ func wireExamples() []struct {
 		Val  any
 	}{
 		{"JobSpec", spec},
+		{"JobSpecDesign", JobSpec{
+			Kind:    JobFaultSim,
+			Design:  "bench/c432",
+			Vectors: VectorSource{Kind: VecBIST, Count: 1024, Seed: 3},
+		}},
+		{"JobSpecMatrix", JobSpec{
+			Kind: JobCampaignMatrix,
+			Matrix: &MatrixSpec{
+				Designs: []string{"dsp", "bench/s27", "fam/w8r4s1l1p2"},
+				Schemes: []VectorSource{
+					{Kind: VecBIST, Count: 512, Seed: 1},
+					{Kind: VecSelfTest, Iterations: 2},
+				},
+			},
+		}},
 		{"Job", Job{
 			ID: "job-0001", Spec: spec, State: JobRunning, Attempts: 1,
 			Created: created, Started: &started,
@@ -61,6 +76,14 @@ func wireExamples() []struct {
 		{"JobResultSeqATPG", JobResult{
 			Faults: 9320, Coverage: 0.62, TestsFound: 410, Untestable: 120, Aborted: 33,
 		}},
+		{"JobResultMatrix", JobResult{
+			Faults: 1200, Detected: 1100, Cycles: 1024, Coverage: 0.9167,
+			Matrix: []MatrixCell{
+				{Design: "dsp", Scheme: VecBIST, SchemeIndex: 0, Faults: 900, Detected: 850, Cycles: 512, Coverage: 0.9444},
+				{Design: "bench/s27", Scheme: VecBIST, SchemeIndex: 0, Faults: 300, Detected: 250, Cycles: 512, Coverage: 0.8333},
+			},
+			Seconds: 4.0,
+		}},
 		{"JobList", JobList{Jobs: []Job{{
 			ID: "job-0002", Spec: JobSpec{Kind: JobSeqATPG, Frames: 3, SampleEvery: 40},
 			State: JobFailed, Attempts: 2, Error: "engine: job panic: simulated",
@@ -75,7 +98,8 @@ func wireExamples() []struct {
 		{"Meta", Meta{
 			Service: "sbstd", APIVersion: Version, Versions: []string{Version},
 			JobKinds: JobKinds(), VectorKinds: VectorKinds(),
-			Capabilities: []string{"jobs", "metrics", "leases", "events"},
+			Capabilities: []string{"jobs", "metrics", "designs", "leases", "events"},
+			Designs:      []string{"dsp", "bench/c432", "bench/c880", "bench/s27"},
 			Obs: &MetaObs{GateEvals: 123456789, VectorsPerSec: 52000.5,
 				HeartbeatP99Millis: 312.5},
 		}},
@@ -245,8 +269,38 @@ func TestKindValidation(t *testing.T) {
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
-	if got, want := len(JobKinds()), 4; got != want {
+	if got, want := len(JobKinds()), 5; got != want {
 		t.Fatalf("JobKinds() has %d entries, want %d", got, want)
+	}
+}
+
+// TestMatrixValidation pins the campaign_matrix spec rules: the matrix
+// block is mandatory and non-empty, duplicate designs are rejected,
+// and each scheme is validated like a top-level stimulus source.
+func TestMatrixValidation(t *testing.T) {
+	ok := JobSpec{Kind: JobCampaignMatrix, Matrix: &MatrixSpec{
+		Designs: []string{"dsp", "bench/s27"},
+		Schemes: []VectorSource{{Kind: VecBIST, Count: 64}, {Kind: VecSelfTest}},
+	}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid matrix spec rejected: %v", err)
+	}
+	for name, spec := range map[string]JobSpec{
+		"no matrix":  {Kind: JobCampaignMatrix},
+		"no designs": {Kind: JobCampaignMatrix, Matrix: &MatrixSpec{Schemes: []VectorSource{{Kind: VecSelfTest}}}},
+		"no schemes": {Kind: JobCampaignMatrix, Matrix: &MatrixSpec{Designs: []string{"dsp"}}},
+		"dup design": {Kind: JobCampaignMatrix, Matrix: &MatrixSpec{Designs: []string{"dsp", "dsp"}, Schemes: []VectorSource{{Kind: VecSelfTest}}}},
+		"bad scheme": {Kind: JobCampaignMatrix, Matrix: &MatrixSpec{Designs: []string{"dsp"}, Schemes: []VectorSource{{Kind: VecBIST}}}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	badScheme := JobSpec{Kind: JobCampaignMatrix, Matrix: &MatrixSpec{
+		Designs: []string{"dsp"}, Schemes: []VectorSource{{Kind: "csv"}},
+	}}
+	if err := badScheme.Validate(); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown scheme kind: %v, want ErrUnknownKind", err)
 	}
 }
 

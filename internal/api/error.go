@@ -11,6 +11,7 @@ import (
 const (
 	CodeBadRequest     = "bad_request"      // malformed body or invalid spec (400)
 	CodeUnknownKind    = "unknown_kind"     // unrecognized JobKind/VectorKind (422)
+	CodeUnknownDesign  = "unknown_design"   // design ID the registry cannot resolve (422)
 	CodeNotFound       = "not_found"        // unknown job, lease or route (404)
 	CodeUnavailable    = "unavailable"      // draining, queue full, shed load (503)
 	CodeTimeout        = "timeout"          // request handler deadline expired (503)
@@ -58,7 +59,7 @@ func HTTPStatus(code string) int {
 	switch code {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeUnknownKind, CodeBadResult:
+	case CodeUnknownKind, CodeUnknownDesign, CodeBadResult:
 		return http.StatusUnprocessableEntity
 	case CodeNotFound:
 		return http.StatusNotFound

@@ -1,0 +1,199 @@
+package designs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestParse pins the ID grammar: canonicalization, the default alias,
+// and rejection of everything unknown with ErrUnknown.
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{"", "dsp"},
+		{"dsp", "dsp"},
+		{"fam/w8r4s1l1p2", "fam/w8r4s1l1p2"},
+		{"fam/w16r8s0l0p1", "fam/w16r8s0l0p1"},
+		{"bench/s27", "bench/s27"},
+		{"bench/c432", "bench/c432"},
+	} {
+		ref, err := Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		if ref.ID != tc.want {
+			t.Errorf("Parse(%q).ID = %q, want %q", tc.in, ref.ID, tc.want)
+		}
+	}
+	for _, bad := range []string{
+		"nope", "fam/", "fam/w8", "fam/w99r4s1l1p1", "fam/w8r3s1l1p1",
+		"fam/w8r4s2l1p1", "fam/w8r4s1l1p0", "fam/w8r4s1l1p1x",
+		"bench/ghost", "bench/../s27", "bench/", "DSP",
+	} {
+		if err := Validate(bad); err == nil {
+			t.Errorf("Validate(%q) accepted an invalid ID", bad)
+		} else if !strings.Contains(err.Error(), "unknown design") {
+			t.Errorf("Validate(%q) error %v does not wrap ErrUnknown", bad, err)
+		}
+	}
+}
+
+// TestFamilySlugRoundTrip: every valid config round-trips through its
+// slug.
+func TestFamilySlugRoundTrip(t *testing.T) {
+	for _, cfg := range []FamilyConfig{
+		{Width: 4, Regs: 2, Pipeline: 1},
+		{Width: 16, Regs: 8, Barrel: true, Limiter: true, Pipeline: 2},
+		{Width: 32, Regs: 16, Barrel: true, Pipeline: 4},
+	} {
+		got, err := ParseFamily(cfg.Slug())
+		if err != nil {
+			t.Fatalf("ParseFamily(%q): %v", cfg.Slug(), err)
+		}
+		if got != cfg {
+			t.Fatalf("ParseFamily(%q) = %+v, want %+v", cfg.Slug(), got, cfg)
+		}
+	}
+}
+
+// TestBuildBundled builds every bundled design — the DSP core and each
+// embedded .bench — and checks the invariants the engine relies on:
+// ≤64 primary inputs, a non-empty collapsed fault list, and a stable
+// hash across rebuilds.
+func TestBuildBundled(t *testing.T) {
+	for _, id := range Bundled() {
+		d, err := Build(id)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", id, err)
+		}
+		if d.ID != id {
+			t.Errorf("%s: built ID %q", id, d.ID)
+		}
+		if n := len(d.Netlist.Inputs()); n == 0 || n > 64 {
+			t.Errorf("%s: %d primary inputs", id, n)
+		}
+		if len(d.Netlist.Outputs()) == 0 {
+			t.Errorf("%s: no outputs", id)
+		}
+		if len(d.Faults) == 0 {
+			t.Errorf("%s: empty fault list", id)
+		}
+		if (id == DefaultID) != (d.Core != nil) {
+			t.Errorf("%s: Core presence wrong (InstructionDriven=%v)", id, d.InstructionDriven())
+		}
+		again, err := Build(id)
+		if err != nil {
+			t.Fatalf("rebuild %q: %v", id, err)
+		}
+		if d.Hash != again.Hash {
+			t.Errorf("%s: hash unstable across builds: %s vs %s", id, d.Hash, again.Hash)
+		}
+		if len(d.Faults) != len(again.Faults) {
+			t.Errorf("%s: fault list unstable: %d vs %d", id, len(d.Faults), len(again.Faults))
+		}
+	}
+}
+
+// TestHashesDistinct: different designs must hash differently — the
+// hash is the cross-process identity campaigns key on.
+func TestHashesDistinct(t *testing.T) {
+	ids := append(Bundled(), "fam/w8r4s0l0p1", "fam/w8r4s1l1p1", "fam/w8r4s1l1p2", "fam/w12r4s1l1p1")
+	seen := map[string]string{}
+	for _, id := range ids {
+		d, err := Build(id)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", id, err)
+		}
+		if prev, dup := seen[d.Hash]; dup {
+			t.Errorf("%s and %s share hash %s", prev, id, d.Hash)
+		}
+		seen[d.Hash] = id
+	}
+}
+
+// TestFamilyFaultSim: a quick fault simulation on small family members
+// must detect a healthy share of faults — the datapath is controllable
+// and observable, not a decorative netlist.
+func TestFamilyFaultSim(t *testing.T) {
+	for _, id := range []string{"fam/w4r2s0l0p1", "fam/w6r4s1l1p2"} {
+		d, err := Build(id)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", id, err)
+		}
+		vecs := PseudorandomVectors(len(d.Netlist.Inputs()), 400, 1)
+		res, err := fault.Simulate(d.Netlist, vecs, fault.SimOptions{Faults: d.Faults})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		detected := 0
+		for _, at := range res.DetectedAt {
+			if at >= 0 {
+				detected++
+			}
+		}
+		cov := float64(detected) / float64(len(res.Faults))
+		t.Logf("%s: %d/%d faults detected (%.1f%%) in %d cycles", id, detected, len(res.Faults), 100*cov, res.Cycles)
+		if cov < 0.5 {
+			t.Errorf("%s: pseudorandom coverage %.1f%% — datapath looks untestable", id, 100*cov)
+		}
+	}
+}
+
+// TestBenchFaultSim: the bundled .bench designs respond to
+// width-matched pseudorandom vectors.
+func TestBenchFaultSim(t *testing.T) {
+	for _, id := range []string{"bench/s27", "bench/c432", "bench/c880"} {
+		d, err := Build(id)
+		if err != nil {
+			t.Fatalf("Build(%q): %v", id, err)
+		}
+		vecs := PseudorandomVectors(len(d.Netlist.Inputs()), 300, 7)
+		res, err := fault.Simulate(d.Netlist, vecs, fault.SimOptions{Faults: d.Faults})
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		detected := 0
+		for _, at := range res.DetectedAt {
+			if at >= 0 {
+				detected++
+			}
+		}
+		t.Logf("%s: %d/%d faults detected in %d cycles", id, detected, len(res.Faults), res.Cycles)
+		if detected == 0 {
+			t.Errorf("%s: zero faults detected", id)
+		}
+	}
+}
+
+// TestPseudorandomVectorsDeterministic: same (width, count, seed) →
+// same sequence; vectors stay within the width mask; degenerate
+// arguments return nil.
+func TestPseudorandomVectorsDeterministic(t *testing.T) {
+	a := PseudorandomVectors(36, 64, 3)
+	b := PseudorandomVectors(36, 64, 3)
+	if len(a) != 64 {
+		t.Fatalf("got %d vectors", len(a))
+	}
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vector %d differs across identical calls", i)
+		}
+		if a[i]>>36 != 0 {
+			t.Fatalf("vector %d = %#x exceeds 36 bits", i, a[i])
+		}
+		if i > 0 && a[i] != a[i-1] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("constant vector stream")
+	}
+	if PseudorandomVectors(0, 10, 1) != nil || PseudorandomVectors(65, 10, 1) != nil || PseudorandomVectors(8, 0, 1) != nil {
+		t.Fatal("degenerate arguments must return nil")
+	}
+}

@@ -1,0 +1,214 @@
+package designs
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/synth"
+)
+
+// FamilyConfig parameterizes the generated core family: a register-file
+// MAC datapath assembled from the same internal/synth generators as the
+// paper's DSP core, with the paper's fixed choices (16-bit datapath,
+// barrel shifter, limiter) opened up as knobs. Each configuration is a
+// distinct design with its own content hash, so campaigns can sweep
+// structure — "does the scheme's coverage hold at 8 bits without the
+// limiter?" — instead of measuring one core.
+type FamilyConfig struct {
+	// Width is the datapath width in bits (4..32).
+	Width int
+	// Regs is the register-file depth (power of two, 2..16).
+	Regs int
+	// Barrel includes the 4-stage barrel shifter on the ALU's fourth
+	// leg; without it the leg is a bitwise XOR.
+	Barrel bool
+	// Limiter includes the saturating limiter between accumulator and
+	// writeback; without it the writeback truncates.
+	Limiter bool
+	// Pipeline is the output register depth (1..4): 1 registers the
+	// result once (the accumulator), each extra level adds a DFF bus.
+	Pipeline int
+}
+
+// Slug renders the canonical parameter string, e.g. "w16r8s1l1p1".
+// Parse("fam/" + cfg.Slug()) round-trips.
+func (c FamilyConfig) Slug() string {
+	return fmt.Sprintf("w%dr%ds%dl%dp%d", c.Width, c.Regs, b2i(c.Barrel), b2i(c.Limiter), c.Pipeline)
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Check validates the parameter ranges.
+func (c FamilyConfig) Check() error {
+	if c.Width < 4 || c.Width > 32 {
+		return fmt.Errorf("width %d out of range 4..32", c.Width)
+	}
+	if c.Regs < 2 || c.Regs > 16 || bits.OnesCount(uint(c.Regs)) != 1 {
+		return fmt.Errorf("regs %d must be a power of two in 2..16", c.Regs)
+	}
+	if c.Pipeline < 1 || c.Pipeline > 4 {
+		return fmt.Errorf("pipeline %d out of range 1..4", c.Pipeline)
+	}
+	return nil
+}
+
+// ParseFamily parses a family parameter slug ("w16r8s1l1p1"). Fields
+// must appear in w-r-s-l-p order; s/l are 0 or 1.
+func ParseFamily(slug string) (FamilyConfig, error) {
+	var cfg FamilyConfig
+	rest := slug
+	field := func(tag string) (int, error) {
+		if !strings.HasPrefix(rest, tag) {
+			return 0, fmt.Errorf("want %q at %q (format w<W>r<R>s<0|1>l<0|1>p<P>)", tag, rest)
+		}
+		rest = rest[len(tag):]
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		if i == 0 {
+			return 0, fmt.Errorf("missing number after %q", tag)
+		}
+		v, err := strconv.Atoi(rest[:i])
+		rest = rest[i:]
+		return v, err
+	}
+	flag := func(tag string) (bool, error) {
+		v, err := field(tag)
+		if err != nil {
+			return false, err
+		}
+		if v != 0 && v != 1 {
+			return false, fmt.Errorf("%s must be 0 or 1, got %d", tag, v)
+		}
+		return v == 1, nil
+	}
+	var err error
+	if cfg.Width, err = field("w"); err != nil {
+		return cfg, err
+	}
+	if cfg.Regs, err = field("r"); err != nil {
+		return cfg, err
+	}
+	if cfg.Barrel, err = flag("s"); err != nil {
+		return cfg, err
+	}
+	if cfg.Limiter, err = flag("l"); err != nil {
+		return cfg, err
+	}
+	if cfg.Pipeline, err = field("p"); err != nil {
+		return cfg, err
+	}
+	if rest != "" {
+		return cfg, fmt.Errorf("trailing %q in family slug", rest)
+	}
+	return cfg, cfg.Check()
+}
+
+// BuildFamily generates the configured family member. The datapath:
+//
+//	din[W], wa/ra[log2 R], op[2], wen, sh[2] (Barrel only)  — inputs
+//	regfile: R×W, write port driven by the writeback result
+//	ALU (op): 00 a+din · 01 a−din · 10 a×din (low W) ·
+//	          11 shifter(a) when Barrel, else a⊕din
+//	accumulator: W+2-bit running sum of the ALU result
+//	writeback/dout: limiter window [W-1:0] of the accumulator when
+//	          Limiter, else its low W bits; Pipeline−1 extra DFF stages
+//	outputs: dout[W] and an accumulator zero flag
+//
+// The writeback closes a register-file feedback loop through deferred
+// buffers, exactly as the DSP core's accumulator does — so the family
+// exercises the same sequential-depth behavior the paper's methodology
+// targets, at whatever width the campaign asks for.
+func BuildFamily(cfg FamilyConfig) (*logic.Netlist, error) {
+	if err := cfg.Check(); err != nil {
+		return nil, fmt.Errorf("designs: family %s: %w", cfg.Slug(), err)
+	}
+	b := logic.NewBuilder()
+	addrW := bits.TrailingZeros(uint(cfg.Regs))
+
+	din := b.InputBus("din", cfg.Width)
+	wa := b.InputBus("wa", addrW)
+	ra := b.InputBus("ra", addrW)
+	op := b.InputBus("op", 2)
+	wen := b.Input("wen")
+	var sh logic.Bus
+	if cfg.Barrel {
+		sh = b.InputBus("sh", 2)
+	}
+
+	// Write-data feedback: the register file is written with the
+	// pre-pipeline result, which depends on its own read port. DFFs
+	// break the cycle; deferred buffers let us build in this order.
+	wb := make(logic.Bus, cfg.Width)
+	for i := range wb {
+		wb[i] = b.DeferredBuf()
+	}
+
+	var a logic.Bus
+	b.Scoped("regfile", func() {
+		rf := synth.RegisterFile(b, synth.RegisterFileConfig{NumRegs: cfg.Regs, Width: cfg.Width}, wa, wb, wen)
+		a = rf.ReadPort(b, ra)
+	})
+
+	var alu logic.Bus
+	b.Scoped("alu", func() {
+		sum, _ := synth.Adder(b, a, din, b.Const(false))
+		diff, _ := synth.AddSub(b, a, din, b.Const(true))
+		prod := synth.MulSigned(b, a, din, cfg.Width)
+		var fourth logic.Bus
+		if cfg.Barrel {
+			b.Scoped("shifter", func() {
+				fourth = synth.BarrelShifter(b, a, din[:4], sh)
+			})
+		} else {
+			fourth = make(logic.Bus, cfg.Width)
+			for i := range fourth {
+				fourth[i] = b.Xor(a[i], din[i])
+			}
+		}
+		alu = synth.MuxN(b, op, []logic.Bus{sum, diff, prod, fourth})
+	})
+
+	accW := cfg.Width + 2
+	var acc logic.Bus
+	b.Scoped("acc", func() {
+		acc = synth.RegisterLoop(b, func(q logic.Bus) logic.Bus {
+			next, _ := synth.Adder(b, q, b.SignExtend(alu, accW), b.Const(false))
+			return next
+		}, accW, "acc")
+	})
+
+	var result logic.Bus
+	if cfg.Limiter {
+		b.Scoped("limiter", func() {
+			result = synth.Limiter(b, acc, 0, cfg.Width)
+		})
+	} else {
+		result = acc[:cfg.Width]
+	}
+	for i := range wb {
+		b.ResolveBuf(wb[i], result[i])
+	}
+
+	dout := result
+	for p := 1; p < cfg.Pipeline; p++ {
+		dout = b.DFFBus(dout, fmt.Sprintf("pipe%d", p))
+	}
+	b.MarkOutputBus(dout, "dout")
+	b.MarkOutput(synth.IsZero(b, acc), "zero")
+
+	n, err := b.Build(logic.BuildOptions{InsertFanoutBranches: true})
+	if err != nil {
+		return nil, fmt.Errorf("designs: family %s: %w", cfg.Slug(), err)
+	}
+	return n, nil
+}

@@ -1,0 +1,38 @@
+package designs
+
+import (
+	"repro/internal/fault"
+	"repro/internal/lfsr"
+)
+
+// PseudorandomVectors generates count pseudorandom test vectors for a
+// design with width primary inputs (≤64, the fault simulator's packed
+// word limit). Bit i of each vector drives Inputs()[i].
+//
+// The generator is a 32-bit LFSR with the registry's primitive
+// polynomial, drained in 32-bit chunks per vector and masked to width —
+// deterministic in (width, count, seed) everywhere, like the hardware
+// BIST generator it stands in for. The paper's DSP core keeps its
+// original 17-bit generator (internal/bist) for bit-compatibility with
+// published coverage numbers; this one serves every other design in
+// the registry, whose port widths the 17-bit LFSR cannot cover.
+func PseudorandomVectors(width, count int, seed uint64) fault.Vectors {
+	if width <= 0 || width > 64 || count <= 0 {
+		return nil
+	}
+	gen := lfsr.MustNew(32, seed)
+	chunks := (width + 31) / 32
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<uint(width) - 1
+	}
+	vecs := make(fault.Vectors, count)
+	for i := range vecs {
+		var v uint64
+		for c := 0; c < chunks; c++ {
+			v |= gen.Next() << uint(32*c)
+		}
+		vecs[i] = v & mask
+	}
+	return vecs
+}

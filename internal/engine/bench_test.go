@@ -21,7 +21,7 @@ import (
 const benchVectors = 8192
 
 func benchSimulate(b *testing.B, workers int, kernel fault.Kernel) {
-	core, faults, err := sharedCore()
+	core, faults, err := SharedCore()
 	if err != nil {
 		b.Fatal(err)
 	}

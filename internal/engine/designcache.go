@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/designs"
+	"repro/internal/obs"
+)
+
+// ctrDesignBuilds counts registry builds per design — a cache miss on
+// the coordinator or a worker. Rendered as
+// sbst_design_builds_total{design="..."} on /v1/metrics; a fleet where
+// this grows linearly with jobs has a cache that is thrashing.
+var ctrDesignBuilds = obs.Default().CounterFamily(
+	"sbst.design_builds_total",
+	"Design registry builds (netlist + collapsed fault list) by design ID.",
+	"design")
+
+// designCacheCap bounds the per-process built-design LRU. A built
+// design owns a levelized netlist and its collapsed fault list —
+// megabytes for large designs — so the cache holds the working set of
+// a matrix campaign, not every design ever requested.
+const designCacheCap = 8
+
+// designCache is a small LRU of built designs keyed by canonical
+// design ID. It replaces the old sync.Once DSP-core singleton: the
+// same build-once behavior for the common single-design fleet, without
+// pinning the process to one circuit.
+type designCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used; values are *designEntry
+	byI map[string]*list.Element // canonical ID → element
+}
+
+type designEntry struct {
+	id  string
+	d   *designs.Design
+	err error
+	// built gates waiters: entries are published under mu before the
+	// (potentially slow) registry build runs, so concurrent requests
+	// for one design share a single build instead of racing.
+	built chan struct{}
+}
+
+func newDesignCache(capacity int) *designCache {
+	return &designCache{cap: capacity, ll: list.New(), byI: make(map[string]*list.Element)}
+}
+
+// get returns the built design for id (registry grammar; "" = the DSP
+// core), building and caching it on first use. Build failures are not
+// cached: an unknown ID fails Parse before touching the cache, and a
+// failed build of a valid ID retries on the next request.
+func (c *designCache) get(id string) (*designs.Design, error) {
+	ref, err := designs.Parse(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if el, ok := c.byI[ref.ID]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*designEntry)
+		c.mu.Unlock()
+		<-e.built
+		return e.d, e.err
+	}
+	e := &designEntry{id: ref.ID, built: make(chan struct{})}
+	el := c.ll.PushFront(e)
+	c.byI[ref.ID] = el
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byI, oldest.Value.(*designEntry).id)
+	}
+	c.mu.Unlock()
+
+	e.d, e.err = designs.Build(ref.ID)
+	ctrDesignBuilds.Counter(ref.ID).Add(1)
+	close(e.built)
+	if e.err != nil {
+		c.mu.Lock()
+		// The element may already have been evicted; delete by ID only
+		// if it still maps to this entry.
+		if cur, ok := c.byI[ref.ID]; ok && cur == el {
+			c.ll.Remove(el)
+			delete(c.byI, ref.ID)
+		}
+		c.mu.Unlock()
+	}
+	return e.d, e.err
+}
+
+// sharedDesigns is the process-wide cache every executor, worker unit
+// and CLI entry point resolves designs through.
+var sharedDesigns = newDesignCache(designCacheCap)
+
+// GetDesign resolves a design ID through the process-wide cache — the
+// multi-design successor of SharedCore. Both coordinator and worker
+// call it, so a fleet agrees on each design's fault indices by
+// construction.
+func GetDesign(id string) (*designs.Design, error) { return sharedDesigns.get(id) }
+
+// validateSpecDesigns checks every design ID a spec references against
+// the registry grammar at submission time (no build), wrapping
+// failures in api.ErrUnknownDesign so the server answers 422
+// unknown_design instead of failing the job mid-campaign.
+func validateSpecDesigns(spec JobSpec) error {
+	check := func(id string) error {
+		if err := designs.Validate(id); err != nil {
+			return fmt.Errorf("%w: %v", api.ErrUnknownDesign, err)
+		}
+		return nil
+	}
+	if err := check(spec.Design); err != nil {
+		return err
+	}
+	if spec.Matrix != nil {
+		for _, id := range spec.Matrix.Designs {
+			if err := check(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// TestDesignCacheSharing: repeated and concurrent gets of one design
+// return the same built instance (one build, shared pointer), and ID
+// aliases ("" vs "dsp") hit the same entry.
+func TestDesignCacheSharing(t *testing.T) {
+	c := newDesignCache(4)
+	var wg sync.WaitGroup
+	got := make([]any, 8)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d, err := c.get("bench/s27")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatal("concurrent gets returned distinct builds")
+		}
+	}
+	a, err := c.get("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get("dsp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("\"\" and \"dsp\" must alias one cache entry")
+	}
+}
+
+// TestDesignCacheEviction: the LRU bound holds, and an evicted design
+// is rebuilt (a new instance) on the next request.
+func TestDesignCacheEviction(t *testing.T) {
+	c := newDesignCache(2)
+	first, err := c.get("fam/w4r2s0l0p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"fam/w5r2s0l0p1", "fam/w6r2s0l0p1"} {
+		if _, err := c.get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.ll.Len() != 2 {
+		t.Fatalf("cache holds %d entries, cap 2", c.ll.Len())
+	}
+	again, err := c.get("fam/w4r2s0l0p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == first {
+		t.Fatal("evicted design returned cached instance")
+	}
+	if again.Hash != first.Hash {
+		t.Fatalf("rebuild hash %s != original %s", again.Hash, first.Hash)
+	}
+}
+
+// TestDesignCacheUnknown: unknown IDs fail without polluting the cache
+// and wrap the registry's unknown-design error.
+func TestDesignCacheUnknown(t *testing.T) {
+	c := newDesignCache(2)
+	if _, err := c.get("bench/ghost"); err == nil {
+		t.Fatal("unknown design accepted")
+	}
+	if c.ll.Len() != 0 {
+		t.Fatalf("failed get left %d cache entries", c.ll.Len())
+	}
+}
+
+// TestDesignBuildMetric: a cache-miss build bumps
+// sbst_design_builds_total{design}; a hit does not.
+func TestDesignBuildMetric(t *testing.T) {
+	const id = "fam/w4r4s0l0p1"
+	ctr := ctrDesignBuilds.Counter(id)
+	before := ctr.Load()
+	if _, err := GetDesign(id); err != nil {
+		t.Fatal(err)
+	}
+	afterMiss := ctr.Load()
+	if afterMiss <= before {
+		t.Fatalf("build did not bump counter: %d -> %d", before, afterMiss)
+	}
+	if _, err := GetDesign(id); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctr.Load(); got != afterMiss {
+		t.Fatalf("cache hit bumped counter: %d -> %d", afterMiss, got)
+	}
+}
+
+// TestValidateSpecDesigns: submission-time design checks wrap
+// api.ErrUnknownDesign for the 422 path and accept known IDs.
+func TestValidateSpecDesigns(t *testing.T) {
+	ok := JobSpec{Kind: JobFaultSim, Design: "bench/s27"}
+	if err := validateSpecDesigns(ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := JobSpec{Kind: JobFaultSim, Design: "bench/ghost"}
+	if err := validateSpecDesigns(bad); !errors.Is(err, api.ErrUnknownDesign) {
+		t.Fatalf("unknown design: %v, want api.ErrUnknownDesign", err)
+	}
+	badMatrix := JobSpec{Kind: JobCampaignMatrix, Matrix: &api.MatrixSpec{
+		Designs: []string{"dsp", "fam/w99r4s1l1p1"},
+		Schemes: []VectorSource{{Kind: api.VecBIST, Count: 8}},
+	}}
+	if err := validateSpecDesigns(badMatrix); !errors.Is(err, api.ErrUnknownDesign) {
+		t.Fatalf("unknown matrix design: %v, want api.ErrUnknownDesign", err)
+	}
+}
+
+// TestExecutorDesignSelection: the local executor runs a fault_sim
+// campaign on a non-default design, and program stimulus on a
+// vector-driven design is refused.
+func TestExecutorDesignSelection(t *testing.T) {
+	exec := NewExecutor(ExecConfig{Workers: 1})
+	res, err := exec(context.Background(), JobSpec{
+		Kind:    JobFaultSim,
+		Design:  "bench/s27",
+		Vectors: VectorSource{Kind: api.VecBIST, Count: 256, Seed: 1},
+	}, func(Progress) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := GetDesign("bench/s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults != len(d.Faults) || res.Detected == 0 {
+		t.Fatalf("s27 campaign: %d/%d detected", res.Detected, res.Faults)
+	}
+
+	_, err = exec(context.Background(), JobSpec{
+		Kind:    JobFaultSim,
+		Design:  "bench/s27",
+		Vectors: VectorSource{Kind: api.VecProgram, Program: "NOP"},
+	}, func(Progress) {})
+	if err == nil {
+		t.Fatal("program stimulus on a vector-driven design must be refused")
+	}
+}
+
+// TestMatrixLocalExecution: a 2-design × 2-scheme matrix on the local
+// executor produces one cell per combination, each bit-identical to a
+// standalone fault_sim run of the same (design, scheme), with summed
+// headline numbers.
+func TestMatrixLocalExecution(t *testing.T) {
+	exec := NewExecutor(ExecConfig{Workers: 1})
+	schemes := []VectorSource{
+		{Kind: api.VecBIST, Count: 200, Seed: 1},
+		{Kind: api.VecBIST, Count: 120, Seed: 9},
+	}
+	designIDs := []string{"bench/s27", "fam/w4r2s0l0p1"}
+	var lastDone int
+	res, err := exec(context.Background(), JobSpec{
+		Kind:   JobCampaignMatrix,
+		Matrix: &api.MatrixSpec{Designs: designIDs, Schemes: schemes},
+	}, func(p Progress) {
+		if p.Done < lastDone {
+			t.Errorf("progress went backwards: %d -> %d", lastDone, p.Done)
+		}
+		lastDone = p.Done
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matrix) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Matrix))
+	}
+	var sumF, sumD, sumC int
+	for _, cell := range res.Matrix {
+		d, err := GetDesign(cell.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vecs, err := resolveVectors(d, schemes[cell.SchemeIndex])
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := fault.Simulate(d.Netlist, vecs, fault.SimOptions{Faults: d.Faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cell.Faults != len(oracle.Faults) || cell.Detected != oracle.Detected() || cell.Cycles != oracle.Cycles {
+			t.Fatalf("cell %s×%d = %d/%d in %d cycles, oracle %d/%d in %d",
+				cell.Design, cell.SchemeIndex, cell.Detected, cell.Faults, cell.Cycles,
+				oracle.Detected(), len(oracle.Faults), oracle.Cycles)
+		}
+		sumF += cell.Faults
+		sumD += cell.Detected
+		sumC += cell.Cycles
+	}
+	if res.Faults != sumF || res.Detected != sumD || res.Cycles != sumC {
+		t.Fatalf("headline %d/%d/%d != cell sums %d/%d/%d",
+			res.Faults, res.Detected, res.Cycles, sumF, sumD, sumC)
+	}
+	if res.Coverage == 0 {
+		t.Fatal("zero matrix coverage")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/chaos"
+	"repro/internal/designs"
 	"repro/internal/fault"
 	"repro/internal/obs"
 )
@@ -94,6 +95,8 @@ func NewDistExecutor(cfg ExecConfig, pool *LeasePool, opts DistOptions) Executor
 			return runDistFaultSim(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
 		case JobExperiment:
 			return runDistExperiment(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
+		case JobCampaignMatrix:
+			return runDistMatrix(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
 		default:
 			return local(ctx, spec, update)
 		}
@@ -144,10 +147,11 @@ func runDistFaultSim(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts 
 func distSimulate(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts DistOptions,
 	jobID string, spec JobSpec, update func(Progress)) (*UnitMerge, []fault.Fault, error) {
 
-	_, faults, err := sharedCore()
+	d, err := GetDesign(spec.Design)
 	if err != nil {
 		return nil, nil, err
 	}
+	faults := d.Faults
 	span := obs.NewSpan(obs.WithTrace(cfg.Sink, spec.TraceID), "engine.dist")
 	span.Add("units", int64(opts.Units))
 	span.Add("faults", int64(len(faults)))
@@ -214,12 +218,29 @@ func runDistExperiment(ctx context.Context, pool *LeasePool, cfg ExecConfig, opt
 	}, nil
 }
 
+// runDistMatrix fans a campaign_matrix job over the fleet: each cell
+// becomes its own lease-pool registration under a derived job ID
+// ("<job>/<design>+s<scheme>"), run sequentially — the fleet-level
+// parallelism is inside each cell's work units, and sequential cells
+// keep every worker's design cache hot on one design at a time.
+// OnMerged fires per cell with the derived ID, which is how the e2e
+// tests pin each cell's bitmaps against a serial oracle.
+func runDistMatrix(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts DistOptions,
+	jobID string, spec JobSpec, update func(Progress)) (*JobResult, error) {
+
+	return runMatrix(ctx, spec, update, func(ctx context.Context, cell JobSpec, d *designs.Design, scheme int, update func(Progress)) (*JobResult, error) {
+		cellID := fmt.Sprintf("%s/%s+s%d", jobID, cell.Design, scheme)
+		return runDistFaultSim(ctx, pool, cfg, opts, cellID, cell, update)
+	})
+}
+
 // RunWorkUnit executes one leased unit: the worker-side half of the
-// protocol. It rebuilds the shared campaign fixture, refuses units
-// whose fault-list length disagrees with its own build (version skew
-// would silently mis-index the merge), simulates the unit's fault slice
-// with the same sharded engine and shadow cross-checking as a local
-// campaign, and packs the detection bitmaps with their checksum.
+// protocol. It resolves the unit's design through the registry cache,
+// refuses units whose fault-list length disagrees with its own build
+// (version skew would silently mis-index the merge), simulates the
+// unit's fault slice with the same sharded engine and shadow
+// cross-checking as a local campaign, and packs the detection bitmaps
+// with their checksum.
 func RunWorkUnit(ctx context.Context, workerID string, u api.WorkUnit,
 	cfg ExecConfig, progress func(api.Progress)) (*api.UnitResult, error) {
 
@@ -232,18 +253,19 @@ func RunWorkUnit(ctx context.Context, workerID string, u api.WorkUnit,
 			return nil, fmt.Errorf("%w: %v", ErrTransient, ierr)
 		}
 	}
-	core, faults, err := sharedCore()
+	d, err := GetDesign(u.Spec.Design)
 	if err != nil {
 		return nil, err
 	}
+	faults := d.Faults
 	if u.TotalFaults != len(faults) {
-		return nil, fmt.Errorf("engine: unit %d of job %s expects %d faults, this build collapses %d — refusing mismatched core",
-			u.Unit, u.JobID, u.TotalFaults, len(faults))
+		return nil, fmt.Errorf("engine: unit %d of job %s expects %d faults, this build of design %s collapses %d — refusing mismatched design",
+			u.Unit, u.JobID, u.TotalFaults, d.ID, len(faults))
 	}
 	if u.FaultLo < 0 || u.FaultHi > len(faults) || u.FaultLo >= u.FaultHi {
 		return nil, fmt.Errorf("engine: unit %d of job %s has bad fault range [%d,%d)", u.Unit, u.JobID, u.FaultLo, u.FaultHi)
 	}
-	vecs, err := resolveVectors(u.Spec.Vectors)
+	vecs, err := resolveVectors(d, u.Spec.Vectors)
 	if err != nil {
 		return nil, err
 	}
@@ -253,7 +275,7 @@ func RunWorkUnit(ctx context.Context, workerID string, u api.WorkUnit,
 	}
 	total := vecs.Len()
 	start := time.Now()
-	res, err := Simulate(core.Netlist, vecs, SimOptions{
+	res, err := Simulate(d.Netlist, vecs, SimOptions{
 		SimOptions: fault.SimOptions{
 			Faults:     faults[u.FaultLo:u.FaultHi],
 			NDetect:    specNDetect(u.Spec),

@@ -157,7 +157,7 @@ func TestRunWorkUnitValidation(t *testing.T) {
 	skew := base
 	skew.TotalFaults = len(faults) + 1
 	if _, err := RunWorkUnit(context.Background(), "w", skew, ExecConfig{}, nil); err == nil ||
-		!strings.Contains(err.Error(), "mismatched core") {
+		!strings.Contains(err.Error(), "mismatched design") {
 		t.Fatalf("mismatched fault count = %v, want refusal", err)
 	}
 

@@ -13,7 +13,7 @@ import (
 
 func testCore(t testing.TB) (*dspgate.Core, []fault.Fault) {
 	t.Helper()
-	core, faults, err := sharedCore()
+	core, faults, err := SharedCore()
 	if err != nil {
 		t.Fatal(err)
 	}

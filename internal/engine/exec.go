@@ -8,6 +8,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/bist"
 	"repro/internal/chaos"
+	"repro/internal/designs"
 	"repro/internal/dspgate"
 	"repro/internal/fault"
 	"repro/internal/isa"
@@ -25,35 +26,25 @@ type ExecConfig struct {
 	Sink obs.Sink
 }
 
-// Shared, immutable campaign fixtures: the gate-level core (and its
-// collapsed fault list) is built once per process, and the default
-// metrics-driven self-test program is generated once on first use.
+// The default metrics-driven self-test program is generated once on
+// first use; built designs live in the designCache (designcache.go).
 var (
-	coreOnce   sync.Once
-	coreVal    *dspgate.Core
-	coreFaults []fault.Fault
-	coreErr    error
-
 	defProgOnce sync.Once
 	defProg     *selftest.Program
 )
 
-func sharedCore() (*dspgate.Core, []fault.Fault, error) {
-	coreOnce.Do(func() {
-		coreVal, coreErr = dspgate.Build(dspgate.Options{InsertFanoutBranches: true})
-		if coreErr == nil {
-			coreFaults, _ = fault.Collapse(coreVal.Netlist, fault.AllFaults(coreVal.Netlist))
-		}
-	})
-	return coreVal, coreFaults, coreErr
+// SharedCore exposes the default campaign fixture: the gate-level DSP
+// core and its collapsed fault list. It is now a view over the design
+// cache — GetDesign(designs.DefaultID) — kept because the distributed
+// end-to-end tests and the bench use it as the serial oracle; new code
+// should resolve designs by ID through GetDesign instead.
+func SharedCore() (*dspgate.Core, []fault.Fault, error) {
+	d, err := GetDesign(designs.DefaultID)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d.Core, d.Faults, nil
 }
-
-// SharedCore exposes the process-wide campaign fixture: the gate-level
-// DSP core and its collapsed fault list, built once on first use. The
-// worker binary runs its units against this exact fixture, and the
-// distributed end-to-end tests use it as the serial oracle, so both
-// sides of the lease protocol agree on fault indices by construction.
-func SharedCore() (*dspgate.Core, []fault.Fault, error) { return sharedCore() }
 
 // specNDetect resolves a spec's effective n-detect target: zero for
 // plain campaigns, the spec's value (defaulted to the paper's n=5)
@@ -69,9 +60,9 @@ func specNDetect(spec JobSpec) int {
 	return spec.NDetect
 }
 
-// NewExecutor returns the production Executor: it runs every job kind
-// against the gate-level DSP core, sharding fault simulation through
-// Simulate.
+// NewExecutor returns the production Executor: it resolves the spec's
+// design through the registry cache and runs every job kind against
+// it, sharding fault simulation through Simulate.
 func NewExecutor(cfg ExecConfig) Executor {
 	return func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
 		// Chaos point: an executor that crashes, stalls, or fails with a
@@ -83,33 +74,53 @@ func NewExecutor(cfg ExecConfig) Executor {
 				return nil, fmt.Errorf("%w: %v", ErrTransient, ierr)
 			}
 		}
-		core, faults, err := sharedCore()
+		if spec.Kind == JobCampaignMatrix {
+			return runMatrix(ctx, spec, update, func(ctx context.Context, cell JobSpec, d *designs.Design, _ int, update func(Progress)) (*JobResult, error) {
+				vecs, err := resolveVectors(d, cell.Vectors)
+				if err != nil {
+					return nil, err
+				}
+				return runFaultSim(ctx, cfg, d, cell, vecs, update)
+			})
+		}
+		d, err := GetDesign(spec.Design)
 		if err != nil {
 			return nil, err
 		}
 		switch spec.Kind {
 		case JobFaultSim, JobNDetect:
-			vecs, err := resolveVectors(spec.Vectors)
+			vecs, err := resolveVectors(d, spec.Vectors)
 			if err != nil {
 				return nil, err
 			}
-			return runFaultSim(ctx, cfg, core, faults, spec, vecs, update)
+			return runFaultSim(ctx, cfg, d, spec, vecs, update)
 		case JobSeqATPG:
-			return runSeqATPG(ctx, cfg, core, spec, update)
+			return runSeqATPG(ctx, cfg, d, spec, update)
 		case JobExperiment:
-			return runExperiment(ctx, cfg, core, faults, spec, update)
+			return runExperiment(ctx, cfg, d, spec, update)
 		default:
 			return nil, fmt.Errorf("engine: unknown job kind %q", spec.Kind)
 		}
 	}
 }
 
-// resolveVectors expands a VectorSource into the stimulus stream.
-func resolveVectors(src VectorSource) (fault.Vectors, error) {
+// resolveVectors expands a VectorSource into the stimulus stream for a
+// design. BIST vectors come from the 17-bit LFSR generator on the DSP
+// core (bit-compatible with the paper's published coverage numbers)
+// and from a width-matched LFSR on everything else. Program and
+// self-test stimulus execute on the DSP template architecture, so they
+// are refused for designs without the instruction port.
+func resolveVectors(d *designs.Design, src VectorSource) (fault.Vectors, error) {
 	switch src.Kind {
 	case api.VecBIST:
-		return bist.PseudorandomVectors(src.Count, uint64(src.Seed)), nil
+		if d.InstructionDriven() {
+			return bist.PseudorandomVectors(src.Count, uint64(src.Seed)), nil
+		}
+		return designs.PseudorandomVectors(len(d.Netlist.Inputs()), src.Count, uint64(src.Seed)), nil
 	case api.VecProgram:
+		if !d.InstructionDriven() {
+			return nil, fmt.Errorf("engine: design %s has no instruction port; program stimulus needs the dsp design", d.ID)
+		}
 		prog, err := isa.Assemble(src.Program)
 		if err != nil {
 			return nil, err
@@ -121,6 +132,9 @@ func resolveVectors(src VectorSource) (fault.Vectors, error) {
 		return selftest.Expand(&selftest.Program{Loop: prog},
 			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
 	case api.VecSelfTest:
+		if !d.InstructionDriven() {
+			return nil, fmt.Errorf("engine: design %s has no instruction port; selftest stimulus needs the dsp design", d.ID)
+		}
 		prog := generatedProgram(src)
 		iters := src.Iterations
 		if iters <= 0 {
@@ -155,7 +169,7 @@ func generatedProgram(src VectorSource) *selftest.Program {
 	return prog
 }
 
-func runFaultSim(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults []fault.Fault,
+func runFaultSim(ctx context.Context, cfg ExecConfig, d *designs.Design,
 	spec JobSpec, vecs fault.Vectors, update func(Progress)) (*JobResult, error) {
 
 	ndet := specNDetect(spec)
@@ -164,9 +178,9 @@ func runFaultSim(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults
 		workers = cfg.Workers
 	}
 	total := vecs.Len()
-	res, err := Simulate(core.Netlist, vecs, SimOptions{
+	res, err := Simulate(d.Netlist, vecs, SimOptions{
 		SimOptions: fault.SimOptions{
-			Faults:     faults,
+			Faults:     d.Faults,
 			NDetect:    ndet,
 			SegmentLen: spec.SegmentLen,
 			Ctx:        ctx,
@@ -200,7 +214,7 @@ func runFaultSim(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults
 	return jr, nil
 }
 
-func runSeqATPG(ctx context.Context, cfg ExecConfig, core *dspgate.Core,
+func runSeqATPG(ctx context.Context, cfg ExecConfig, d *designs.Design,
 	spec JobSpec, update func(Progress)) (*JobResult, error) {
 
 	frames := spec.Frames
@@ -215,7 +229,7 @@ func runSeqATPG(ctx context.Context, cfg ExecConfig, core *dspgate.Core,
 	if backtracks <= 0 {
 		backtracks = 300
 	}
-	res, err := bist.SequentialATPGOpts(core.Netlist, bist.SeqATPGOptions{
+	res, err := bist.SequentialATPGOpts(d.Netlist, bist.SeqATPGOptions{
 		Frames: frames, SampleEvery: sample, MaxBacktracks: backtracks,
 		Sink: cfg.Sink,
 		Progress: func(done, total int) {
@@ -242,16 +256,16 @@ func runSeqATPG(ctx context.Context, cfg ExecConfig, core *dspgate.Core,
 // runExperiment is the composite campaign behind the paper's headline
 // comparison: fault-simulate the requested stimulus and a raw-LFSR BIST
 // baseline of the same length, reporting both coverages side by side.
-func runExperiment(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faults []fault.Fault,
+func runExperiment(ctx context.Context, cfg ExecConfig, d *designs.Design,
 	spec JobSpec, update func(Progress)) (*JobResult, error) {
 
-	vecs, err := resolveVectors(spec.Vectors)
+	vecs, err := resolveVectors(d, spec.Vectors)
 	if err != nil {
 		return nil, err
 	}
 	sub := spec
 	sub.Kind = JobFaultSim
-	main, err := runFaultSim(ctx, cfg, core, faults, sub, vecs, update)
+	main, err := runFaultSim(ctx, cfg, d, sub, vecs, update)
 	if err != nil {
 		return nil, err
 	}
@@ -259,8 +273,13 @@ func runExperiment(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faul
 	if seed == 0 {
 		seed = 1
 	}
-	baselineVecs := bist.PseudorandomVectors(vecs.Len(), uint64(seed))
-	baseline, err := runFaultSim(ctx, cfg, core, faults, sub, baselineVecs, update)
+	base := sub
+	base.Vectors = VectorSource{Kind: api.VecBIST, Count: vecs.Len(), Seed: seed}
+	baselineVecs, err := resolveVectors(d, base.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := runFaultSim(ctx, cfg, d, base, baselineVecs, update)
 	if err != nil {
 		return nil, err
 	}
@@ -274,4 +293,74 @@ func runExperiment(ctx context.Context, cfg ExecConfig, core *dspgate.Core, faul
 			"bist_baseline": baseline,
 		},
 	}, nil
+}
+
+// cellRunner executes one matrix cell — a fault_sim campaign on one
+// design with one stimulus scheme. The local executor simulates
+// in-process; the coordinator registers the cell on the lease pool.
+type cellRunner func(ctx context.Context, cell JobSpec, d *designs.Design, scheme int, update func(Progress)) (*JobResult, error)
+
+// matrixCellScale is the per-cell width of a matrix job's progress
+// axis: cell i occupies [i*scale, (i+1)*scale) of Progress.Done, so a
+// dashboard sees smooth forward motion across cells of very different
+// vector counts.
+const matrixCellScale = 1000
+
+// runMatrix fans spec.Matrix's designs × schemes cross product into
+// independent fault-sim campaigns (designs-major order), rolling the
+// per-cell results into the JobResult.Matrix table. Cells run through
+// the given runner sequentially; the distributed runner fans each cell
+// out over the worker fleet, so the fleet-level parallelism lives
+// inside the cells.
+func runMatrix(ctx context.Context, spec JobSpec, update func(Progress), run cellRunner) (*JobResult, error) {
+	m := spec.Matrix
+	if m == nil || len(m.Designs) == 0 || len(m.Schemes) == 0 {
+		return nil, fmt.Errorf("engine: campaign_matrix job needs matrix designs and schemes")
+	}
+	nCells := len(m.Designs) * len(m.Schemes)
+	out := &JobResult{Matrix: make([]api.MatrixCell, 0, nCells)}
+	ci := 0
+	for _, id := range m.Designs {
+		d, err := GetDesign(id)
+		if err != nil {
+			return nil, err
+		}
+		for si, scheme := range m.Schemes {
+			cell := spec
+			cell.Kind = JobFaultSim
+			cell.Design = d.ID
+			cell.Vectors = scheme
+			cell.Matrix = nil
+			base := ci * matrixCellScale
+			r, err := run(ctx, cell, d, si, func(p Progress) {
+				frac := 0
+				if p.Total > 0 {
+					frac = p.Done * matrixCellScale / p.Total
+				}
+				update(Progress{
+					Done: base + frac, Total: nCells * matrixCellScale,
+					Detected: out.Detected + p.Detected, Remaining: p.Remaining,
+					Coverage: safeRatio(out.Detected+p.Detected, out.Faults+len(d.Faults)),
+				})
+			})
+			if err != nil {
+				return nil, fmt.Errorf("engine: matrix cell %s × %s[%d]: %w", d.ID, scheme.Kind, si, err)
+			}
+			out.Matrix = append(out.Matrix, api.MatrixCell{
+				Design: d.ID, Scheme: scheme.Kind, SchemeIndex: si,
+				Faults: r.Faults, Detected: r.Detected, Cycles: r.Cycles, Coverage: r.Coverage,
+			})
+			out.Faults += r.Faults
+			out.Detected += r.Detected
+			out.Cycles += r.Cycles
+			ci++
+			update(Progress{
+				Done: ci * matrixCellScale, Total: nCells * matrixCellScale,
+				Detected: out.Detected,
+				Coverage: safeRatio(out.Detected, out.Faults),
+			})
+		}
+	}
+	out.Coverage = safeRatio(out.Detected, out.Faults)
+	return out, nil
 }

@@ -16,10 +16,11 @@ type JobKind = api.JobKind
 
 // The campaign kinds the executor understands.
 const (
-	JobFaultSim   = api.JobFaultSim
-	JobNDetect    = api.JobNDetect
-	JobSeqATPG    = api.JobSeqATPG
-	JobExperiment = api.JobExperiment
+	JobFaultSim       = api.JobFaultSim
+	JobNDetect        = api.JobNDetect
+	JobSeqATPG        = api.JobSeqATPG
+	JobExperiment     = api.JobExperiment
+	JobCampaignMatrix = api.JobCampaignMatrix
 )
 
 // VectorSource describes where a job's stimulus stream comes from; its

@@ -228,6 +228,9 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
 	}
+	if err := validateSpecDesigns(spec); err != nil {
+		return Job{}, err
+	}
 	q.mu.Lock()
 	if q.draining {
 		q.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/chaos"
+	"repro/internal/designs"
 	"repro/internal/obs"
 )
 
@@ -201,6 +202,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		// 422: the request parsed, but names a kind this server does not
 		// implement — a contract mismatch, not a malformed payload.
 		writeAPIErr(w, api.Errf(api.CodeUnknownKind, false, "%v", err))
+	case errors.Is(err, api.ErrUnknownDesign):
+		// 422: same contract-mismatch family — the design ID does not
+		// resolve in this server's registry.
+		writeAPIErr(w, api.Errf(api.CodeUnknownDesign, false, "%v", err))
 	case err != nil:
 		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "%v", err))
 	default:
@@ -260,7 +265,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 // meta is the capabilities document: what this server speaks, so
 // clients and workers can verify compatibility before doing work.
 func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
-	caps := []string{"jobs", "checkpoint", "metrics"}
+	caps := []string{"jobs", "checkpoint", "metrics", "designs"}
 	if s.pool != nil {
 		caps = append(caps, "leases")
 	}
@@ -274,6 +279,7 @@ func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
 		JobKinds:     api.JobKinds(),
 		VectorKinds:  api.VectorKinds(),
 		Capabilities: caps,
+		Designs:      designs.Bundled(),
 		Obs:          metaObs(),
 	})
 }

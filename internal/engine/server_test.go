@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"slices"
 	"strings"
 	"testing"
 	"time"
@@ -240,10 +241,17 @@ func TestServerV1Surface(t *testing.T) {
 		APIVersion   string   `json:"api_version"`
 		JobKinds     []string `json:"job_kinds"`
 		Capabilities []string `json:"capabilities"`
+		Designs      []string `json:"designs"`
 	}
 	decode(t, resp, &meta)
-	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 4 {
+	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 5 {
 		t.Fatalf("meta %+v", meta)
+	}
+	if !slices.Contains(meta.Capabilities, "designs") {
+		t.Fatalf("meta capabilities %v lack designs", meta.Capabilities)
+	}
+	if !slices.Contains(meta.Designs, "dsp") || !slices.Contains(meta.Designs, "bench/s27") {
+		t.Fatalf("meta designs %v lack the bundled IDs", meta.Designs)
 	}
 
 	// Legacy aliases keep answering, flagged deprecated.
@@ -262,6 +270,47 @@ func TestServerV1Surface(t *testing.T) {
 		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) {
 			t.Fatalf("legacy GET %s Link header %q does not point at /v1", path, link)
 		}
+	}
+}
+
+// TestServerUnknownDesign: a spec naming a design the registry cannot
+// build is rejected at submission with 422 unknown_design, both as the
+// top-level design field and inside a matrix; a known non-default
+// design is accepted.
+func TestServerUnknownDesign(t *testing.T) {
+	srv, _ := testServer(t, QueueOptions{Workers: 1})
+
+	for _, body := range []string{
+		`{"kind":"fault_sim","design":"bench/ghost","vectors":{"kind":"bist","count":32}}`,
+		`{"kind":"fault_sim","design":"fam/w99r4s1l1p1","vectors":{"kind":"bist","count":32}}`,
+		`{"kind":"campaign_matrix","matrix":{"designs":["dsp","bench/ghost"],"schemes":[{"kind":"bist","count":32}]}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Code      string `json:"code"`
+			Message   string `json:"message"`
+			Retryable bool   `json:"retryable"`
+		}
+		decode(t, resp, &envelope)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("submit %q status %d, want 422", body, resp.StatusCode)
+		}
+		if envelope.Code != "unknown_design" || envelope.Retryable {
+			t.Fatalf("submit %q envelope %+v, want non-retryable unknown_design", body, envelope)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","design":"bench/s27","vectors":{"kind":"bist","count":32}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("known design rejected: status %d, want 202", resp.StatusCode)
 	}
 }
 

@@ -1,0 +1,60 @@
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// sanitizeIdent rewrites s into an identifier safe for the structural
+// interchange formats this package emits (Verilog, .bench): letters,
+// digits and underscores, never starting with a digit.
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	out := sb.String()
+	if out == "" || out[0] >= '0' && out[0] <= '9' {
+		out = "n_" + out
+	}
+	return out
+}
+
+// exportNames assigns every net a sanitized, collision-free identifier.
+// Named nets keep their sanitized source name where possible; unnamed
+// nets fall back to n<id>. Sanitization can alias distinct source names
+// ("a.b" and "a-b" both become "a_b"), and a source name can collide
+// with a fallback or a reserved word — every collision is resolved by
+// appending the net id (and a further counter in the pathological case
+// where that name is itself taken), so two different nets never share
+// an exported identifier.
+func exportNames(n *Netlist, reserved ...string) []string {
+	names := make([]string, n.NumNets())
+	used := make(map[string]bool, n.NumNets()+len(reserved))
+	for _, r := range reserved {
+		used[r] = true
+	}
+	for id := 0; id < n.NumNets(); id++ {
+		name := n.NameOf(NetID(id))
+		if name != "" {
+			name = sanitizeIdent(name)
+		} else {
+			name = fmt.Sprintf("n%d", id)
+		}
+		if used[name] {
+			base := name
+			name = fmt.Sprintf("%s_%d", base, id)
+			for sfx := 2; used[name]; sfx++ {
+				name = fmt.Sprintf("%s_%d_%d", base, id, sfx)
+			}
+		}
+		used[name] = true
+		names[id] = name
+	}
+	return names
+}

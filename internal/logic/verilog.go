@@ -16,37 +16,7 @@ import (
 // with a synchronous active-high reset matching the simulator's
 // power-on state.
 func WriteVerilog(w io.Writer, n *Netlist, moduleName string) error {
-	names := make([]string, n.NumNets())
-	used := map[string]bool{"clk": true, "rst": true}
-	sanitize := func(s string) string {
-		var sb strings.Builder
-		for _, r := range s {
-			switch {
-			case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
-				sb.WriteRune(r)
-			default:
-				sb.WriteByte('_')
-			}
-		}
-		out := sb.String()
-		if out == "" || out[0] >= '0' && out[0] <= '9' {
-			out = "n_" + out
-		}
-		return out
-	}
-	for id := 0; id < n.NumNets(); id++ {
-		name := n.NameOf(NetID(id))
-		if name != "" {
-			name = sanitize(name)
-			if used[name] {
-				name = fmt.Sprintf("%s_%d", name, id)
-			}
-		} else {
-			name = fmt.Sprintf("n%d", id)
-		}
-		used[name] = true
-		names[id] = name
-	}
+	names := exportNames(n, "clk", "rst")
 
 	var ports []string
 	ports = append(ports, "clk", "rst")
@@ -56,7 +26,7 @@ func WriteVerilog(w io.Writer, n *Netlist, moduleName string) error {
 	for _, out := range n.Outputs() {
 		ports = append(ports, names[out])
 	}
-	if _, err := fmt.Fprintf(w, "module %s(%s);\n", sanitize(moduleName), strings.Join(ports, ", ")); err != nil {
+	if _, err := fmt.Fprintf(w, "module %s(%s);\n", sanitizeIdent(moduleName), strings.Join(ports, ", ")); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "  input clk, rst;\n")

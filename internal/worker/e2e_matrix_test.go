@@ -1,0 +1,204 @@
+package worker
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/designs"
+	"repro/internal/engine"
+	"repro/internal/fault"
+)
+
+// TestMatrixCampaignE2E runs a campaign_matrix job over the full
+// distributed stack: 3 designs (one bundled .bench netlist, two
+// generated family members) × 2 BIST schemes on a two-worker fleet,
+// with a third worker killed mid-lease so one unit travels the
+// expire-and-requeue path. Every cell's merged detection map must be
+// bit-identical to a serial single-process simulation of that
+// (design, scheme) pair, and the rolled-up table served over /v1 must
+// agree with the oracles.
+func TestMatrixCampaignE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed matrix e2e in -short mode")
+	}
+	designIDs := []string{"bench/s27", "fam/w4r2s0l0p1", "fam/w6r4s1l1p2"}
+	schemes := []api.VectorSource{
+		{Kind: api.VecBIST, Count: 200, Seed: 3},
+		{Kind: api.VecBIST, Count: 140, Seed: 11},
+	}
+	spec := api.JobSpec{
+		Kind:   api.JobCampaignMatrix,
+		Matrix: &api.MatrixSpec{Designs: designIDs, Schemes: schemes},
+	}
+
+	pool := engine.NewLeasePool(engine.PoolOptions{
+		TTL:          time.Second,
+		UnitAttempts: 3,
+		RetryBase:    time.Millisecond,
+		RetryMax:     5 * time.Millisecond,
+	})
+	defer pool.Close()
+
+	// Each cell runs through the pool under its own derived job ID, so
+	// OnMerged fires once per cell — capture them all.
+	var mu sync.Mutex
+	merged := map[string]*fault.Result{}
+	exec := engine.NewDistExecutor(engine.ExecConfig{Workers: 2}, pool, engine.DistOptions{
+		Units: 3,
+		OnMerged: func(cellID string, res *fault.Result) {
+			mu.Lock()
+			merged[cellID] = res
+			mu.Unlock()
+		},
+	})
+	q := engine.NewQueue(engine.QueueOptions{
+		Workers:    1,
+		MaxPending: 8,
+		Exec:       exec,
+		DistState:  pool.SnapshotJob,
+	})
+	q.Start()
+	srv := httptest.NewServer(engine.NewServerWith(q, engine.ServerOptions{Pool: pool}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	fastClient := func() *client.Client {
+		return client.New(srv.URL, client.Options{
+			RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond, MaxRetries: 4,
+		})
+	}
+	c := fastClient()
+
+	job, err := c.SubmitJob(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A doomed worker abandons the first lease of the first cell; the
+	// lease must expire back into the pool for the honest pair.
+	var doomed *api.Lease
+	for doomed == nil {
+		if ctx.Err() != nil {
+			t.Fatal("no lease offered before timeout")
+		}
+		if doomed, err = c.AcquireLease(ctx, "doomed"); err != nil {
+			t.Fatal(err)
+		}
+		if doomed == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if _, err := c.HeartbeatLease(ctx, doomed.ID, api.Heartbeat{WorkerID: "doomed"}); err != nil {
+		t.Fatalf("doomed heartbeat: %v", err)
+	}
+
+	wctx, stopWorkers := context.WithCancel(ctx)
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for _, id := range []string{"w1", "w2"} {
+		w := New(Options{
+			Coordinator: srv.URL,
+			ID:          id,
+			Poll:        10 * time.Millisecond,
+			Exec:        engine.ExecConfig{Workers: 1},
+			Client:      fastClient(),
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(wctx); err != nil {
+				t.Errorf("worker %s: %v", w.ID(), err)
+			}
+		}()
+	}
+
+	res, err := c.WaitResult(ctx, job.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("WaitResult: %v", err)
+	}
+	stopWorkers()
+	wg.Wait()
+
+	if len(res.Matrix) != len(designIDs)*len(schemes) {
+		t.Fatalf("served %d matrix cells, want %d", len(res.Matrix), len(designIDs)*len(schemes))
+	}
+
+	// Serial oracles: each (design, scheme) pair in one process. All
+	// three designs are vector-driven, so BIST resolves to the
+	// registry's width-matched LFSR stream.
+	var sumF, sumD, sumC int
+	for _, cell := range res.Matrix {
+		d, err := engine.GetDesign(cell.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scheme := schemes[cell.SchemeIndex]
+		vecs := designs.PseudorandomVectors(len(d.Netlist.Inputs()), scheme.Count, uint64(scheme.Seed))
+		want, err := fault.Simulate(d.Netlist, vecs, fault.SimOptions{Faults: d.Faults})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cellID := fmt.Sprintf("%s/%s+s%d", job.ID, cell.Design, cell.SchemeIndex)
+		mu.Lock()
+		got := merged[cellID]
+		mu.Unlock()
+		if got == nil {
+			keys := make([]string, 0, len(merged))
+			for k := range merged {
+				keys = append(keys, k)
+			}
+			t.Fatalf("no merged result for cell %s (have %v)", cellID, keys)
+		}
+		if len(got.DetectedAt) != len(want.DetectedAt) {
+			t.Fatalf("cell %s merged %d faults, oracle %d", cellID, len(got.DetectedAt), len(want.DetectedAt))
+		}
+		diffs := 0
+		for i := range want.DetectedAt {
+			if got.DetectedAt[i] != want.DetectedAt[i] {
+				diffs++
+				if diffs <= 5 {
+					t.Errorf("cell %s fault %d: distributed DetectedAt=%d, serial=%d",
+						cellID, i, got.DetectedAt[i], want.DetectedAt[i])
+				}
+			}
+		}
+		if diffs > 0 {
+			t.Fatalf("cell %s: %d/%d faults diverge from the serial oracle",
+				cellID, diffs, len(want.DetectedAt))
+		}
+
+		if cell.Faults != len(want.DetectedAt) || cell.Detected != want.Detected() || cell.Cycles != want.Cycles {
+			t.Fatalf("cell %s served %d/%d in %d cycles; oracle %d/%d in %d",
+				cellID, cell.Detected, cell.Faults, cell.Cycles,
+				want.Detected(), len(want.DetectedAt), want.Cycles)
+		}
+		sumF += cell.Faults
+		sumD += cell.Detected
+		sumC += cell.Cycles
+	}
+	if res.Faults != sumF || res.Detected != sumD || res.Cycles != sumC {
+		t.Fatalf("headline %d/%d/%d != cell sums %d/%d/%d",
+			res.Faults, res.Detected, res.Cycles, sumF, sumD, sumC)
+	}
+
+	// The abandoned lease must have expired, not silently merged.
+	_, err = c.HeartbeatLease(ctx, doomed.ID, api.Heartbeat{WorkerID: "doomed"})
+	var ae *api.Error
+	if !api.AsError(err, &ae) || ae.Code != api.CodeLeaseGone {
+		t.Fatalf("late heartbeat on abandoned lease = %v, want lease_gone", err)
+	}
+
+	drainCtx, dcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer dcancel()
+	if err := q.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
