@@ -124,6 +124,13 @@ type Design struct {
 // InstructionDriven mirrors Ref.InstructionDriven on the built design.
 func (d *Design) InstructionDriven() bool { return d.Core != nil }
 
+// SizeBytes estimates the built design's resident size — the netlist
+// plus the collapsed fault list — for the engine's byte-budgeted
+// design cache.
+func (d *Design) SizeBytes() int64 {
+	return d.Netlist.SizeBytes() + int64(len(d.Faults))*8
+}
+
 // Build resolves a design ID to a built Design. Deterministic: the
 // same ID yields the same netlist, fault list and hash in every
 // process.

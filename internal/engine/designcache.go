@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/api"
+	"repro/internal/artifacts"
 	"repro/internal/designs"
 	"repro/internal/obs"
 )
@@ -19,27 +20,48 @@ var ctrDesignBuilds = obs.Default().CounterFamily(
 	"Design registry builds (netlist + collapsed fault list) by design ID.",
 	"design")
 
-// designCacheCap bounds the per-process built-design LRU. A built
-// design owns a levelized netlist and its collapsed fault list —
-// megabytes for large designs — so the cache holds the working set of
-// a matrix campaign, not every design ever requested.
+// Cache traffic by outcome, the companion to sbst_design_builds_total:
+// hits/(hits+misses) is the fleet's design-reuse rate, mirroring the
+// artifact store's sbst_artifact_{hits,misses}_total.
+var (
+	ctrDesignCacheHit = obs.Default().CounterFamily(
+		"sbst.design_cache_events_total",
+		"Design cache lookups by outcome.",
+		"result").Counter("hit")
+	ctrDesignCacheMiss = obs.Default().CounterFamily(
+		"sbst.design_cache_events_total",
+		"Design cache lookups by outcome.",
+		"result").Counter("miss")
+)
+
+// designCacheCap bounds the per-process built-design LRU by entry
+// count; designCacheBudget bounds it by bytes (a built design owns a
+// levelized netlist and its collapsed fault list — megabytes for large
+// designs). Whichever bound is hit first evicts least-recently-used,
+// the same policy as the artifact store, whose budget this borrows so
+// the two caches exert comparable memory pressure.
 const designCacheCap = 8
+
+const designCacheBudget = artifacts.DefaultBudget
 
 // designCache is a small LRU of built designs keyed by canonical
 // design ID. It replaces the old sync.Once DSP-core singleton: the
 // same build-once behavior for the common single-design fleet, without
 // pinning the process to one circuit.
 type designCache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List               // front = most recently used; values are *designEntry
-	byI map[string]*list.Element // canonical ID → element
+	mu     sync.Mutex
+	cap    int
+	budget int64
+	bytes  int64
+	ll     *list.List               // front = most recently used; values are *designEntry
+	byI    map[string]*list.Element // canonical ID → element
 }
 
 type designEntry struct {
-	id  string
-	d   *designs.Design
-	err error
+	id    string
+	d     *designs.Design
+	err   error
+	bytes int64 // accounted share of designCache.bytes (0 until built)
 	// built gates waiters: entries are published under mu before the
 	// (potentially slow) registry build runs, so concurrent requests
 	// for one design share a single build instead of racing.
@@ -47,7 +69,28 @@ type designEntry struct {
 }
 
 func newDesignCache(capacity int) *designCache {
-	return &designCache{cap: capacity, ll: list.New(), byI: make(map[string]*list.Element)}
+	return &designCache{
+		cap:    capacity,
+		budget: designCacheBudget,
+		ll:     list.New(),
+		byI:    make(map[string]*list.Element),
+	}
+}
+
+// evictLocked drops LRU entries until both the entry cap and the byte
+// budget hold. Evicting only unlinks the cache reference: a design a
+// running job still holds stays alive through its own pointer.
+func (c *designCache) evictLocked() {
+	for c.ll.Len() > c.cap || c.bytes > c.budget {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			return
+		}
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*designEntry)
+		delete(c.byI, e.id)
+		c.bytes -= e.bytes
+	}
 }
 
 // get returns the built design for id (registry grammar; "" = the DSP
@@ -64,21 +107,30 @@ func (c *designCache) get(id string) (*designs.Design, error) {
 		c.ll.MoveToFront(el)
 		e := el.Value.(*designEntry)
 		c.mu.Unlock()
+		ctrDesignCacheHit.Add(1)
 		<-e.built
 		return e.d, e.err
 	}
 	e := &designEntry{id: ref.ID, built: make(chan struct{})}
 	el := c.ll.PushFront(e)
 	c.byI[ref.ID] = el
-	for c.ll.Len() > c.cap {
-		oldest := c.ll.Back()
-		c.ll.Remove(oldest)
-		delete(c.byI, oldest.Value.(*designEntry).id)
-	}
+	c.evictLocked()
 	c.mu.Unlock()
+	ctrDesignCacheMiss.Add(1)
 
 	e.d, e.err = designs.Build(ref.ID)
 	ctrDesignBuilds.Counter(ref.ID).Add(1)
+	if e.err == nil {
+		e.bytes = e.d.SizeBytes()
+		c.mu.Lock()
+		// The entry may have been evicted while building; only account
+		// (and re-evict to budget) if it is still cached.
+		if cur, ok := c.byI[ref.ID]; ok && cur == el {
+			c.bytes += e.bytes
+			c.evictLocked()
+		}
+		c.mu.Unlock()
+	}
 	close(e.built)
 	if e.err != nil {
 		c.mu.Lock()

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/api"
+	"repro/internal/designs"
 	"repro/internal/fault"
 )
 
@@ -73,6 +74,59 @@ func TestDesignCacheEviction(t *testing.T) {
 	}
 	if again.Hash != first.Hash {
 		t.Fatalf("rebuild hash %s != original %s", again.Hash, first.Hash)
+	}
+}
+
+// TestDesignCacheByteBudget: the cache also evicts by bytes — a budget
+// that holds either design but not both drops the least recently used
+// one when the second build lands, and the accounting tracks it.
+func TestDesignCacheByteBudget(t *testing.T) {
+	a, err := designs.Build("bench/s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := designs.Build("fam/w4r2s0l0p1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newDesignCache(8)
+	c.budget = a.SizeBytes() + b.SizeBytes() - 1
+	if _, err := c.get("bench/s27"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.get("fam/w4r2s0l0p1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.ll.Len() != 1 {
+		t.Fatalf("cache holds %d entries, byte budget allows 1", c.ll.Len())
+	}
+	if _, ok := c.byI["fam/w4r2s0l0p1"]; !ok {
+		t.Fatal("wrong entry evicted: most recent design gone")
+	}
+	if c.bytes > c.budget {
+		t.Fatalf("accounting over budget: %d > %d", c.bytes, c.budget)
+	}
+	if c.bytes != b.SizeBytes() {
+		t.Fatalf("accounted %d bytes, want the resident design's %d", c.bytes, b.SizeBytes())
+	}
+}
+
+// TestDesignCacheEventMetric: lookups move
+// sbst_design_cache_events_total{result}.
+func TestDesignCacheEventMetric(t *testing.T) {
+	c := newDesignCache(4)
+	hits0, misses0 := ctrDesignCacheHit.Load(), ctrDesignCacheMiss.Load()
+	if _, err := c.get("bench/s27"); err != nil {
+		t.Fatal(err)
+	}
+	if d := ctrDesignCacheMiss.Load() - misses0; d != 1 {
+		t.Fatalf("miss delta %d, want 1", d)
+	}
+	if _, err := c.get("bench/s27"); err != nil {
+		t.Fatal(err)
+	}
+	if d := ctrDesignCacheHit.Load() - hits0; d != 1 {
+		t.Fatalf("hit delta %d, want 1", d)
 	}
 }
 

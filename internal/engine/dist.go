@@ -295,6 +295,7 @@ func RunWorkUnit(ctx context.Context, workerID string, u api.WorkUnit,
 		Workers:      workers,
 		ShadowSample: u.ShadowSample,
 		ShadowSeed:   u.ShadowSeed,
+		DesignHash:   d.Hash,
 	})
 	if err != nil {
 		return nil, err

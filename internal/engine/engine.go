@@ -24,6 +24,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/artifacts"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/obs"
@@ -77,6 +78,21 @@ type SimOptions struct {
 	// detection cycles). Divergences are always reported through the
 	// Sink and counters regardless.
 	DiagDir string
+	// DesignHash, when non-empty, enables the cross-job artifact cache:
+	// the compiled program and the fault-free good trace are resolved
+	// from (and published to) the artifact store under
+	// (DesignHash, hash of the expanded vectors), so a repeated
+	// submission of the same design and vector source performs zero
+	// compiles and zero good-machine cycles. Use designs.Design.Hash —
+	// the caller owns the guarantee that the hash matches the netlist.
+	DesignHash string
+	// Artifacts overrides the process-wide artifact store; nil selects
+	// artifacts.Default(). Tests and benchmarks inject private stores.
+	Artifacts *artifacts.Store
+	// NoArtifacts disables artifact resolution even with a DesignHash
+	// set — the cold path, for benchmarks that price compilation and
+	// the good machine.
+	NoArtifacts bool
 }
 
 // Simulate runs the vector sequence against the netlist with the fault
@@ -107,6 +123,11 @@ func Simulate(n *logic.Netlist, vecs fault.VectorSeq, opts SimOptions) (*fault.R
 		workers = len(faults)
 	}
 	start := time.Now()
+	// Artifact resolution (no-op without a DesignHash): shares the
+	// compiled program and the completed good trace across jobs keyed by
+	// content, and holds the store lease until every shard is done.
+	release := resolveArtifacts(n, vecs, &opts)
+	defer release()
 	if workers <= 1 {
 		serial := opts.SimOptions
 		serial.Faults = faults

@@ -193,7 +193,8 @@ func runFaultSim(ctx context.Context, cfg ExecConfig, d *designs.Design,
 				})
 			},
 		},
-		Workers: workers,
+		Workers:    workers,
+		DesignHash: d.Hash,
 	})
 	if err != nil {
 		return nil, err

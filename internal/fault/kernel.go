@@ -11,31 +11,56 @@ import (
 //
 // Per segment it simulates the fault-free machine exactly once on a
 // logic.CompiledSim, recording every net's settled value per cycle into
-// a logic.GoodTrace. Each 63-fault batch then replays the segment on a
-// logic.EventSim, which evaluates only the batch's fanout-cone logic —
-// everything outside the cone is read from the trace — so a batch pays
-// for its diverged gates instead of the whole frame. The drop/repack
-// segmentation, detection bookkeeping and telemetry match
-// simulateReference cycle for cycle; the differential tests in this
-// package and kernel_equiv_test.go at the repo root enforce
-// bit-identical results.
+// a logic.GoodTrace — or, when the trace already holds the segment
+// (SimOptions.Trace from the artifact cache), skips the good machine
+// entirely. Each batch of up to 63×W faults (W = SimOptions.LaneWords)
+// then replays the segment on a logic.EventSim, which evaluates only
+// the batch's fanout-cone logic — everything outside the cone is read
+// from the trace — so a batch pays for its diverged gates instead of
+// the whole frame. The drop/repack segmentation, detection bookkeeping
+// and telemetry match simulateReference cycle for cycle; the
+// differential tests in this package and kernel_equiv_test.go at the
+// repo root enforce bit-identical results at every lane width.
 func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result {
 	inputs := n.Inputs()
-	c := logic.CompiledFor(n)
+	c := opts.Program
+	if c == nil {
+		c = logic.CompiledFor(n)
+	}
 	good := logic.NewCompiledSim(c)
-	ev := logic.NewEventSim(c)
 	r := newSimRun(n, vecs, opts, good.StateWords())
+	lw := opts.LaneWords
+	if lw <= 0 {
+		lw = autoLaneWords(len(r.faults))
+	}
+	if lw > logic.MaxLaneWords {
+		lw = logic.MaxLaneWords
+	}
+	ev := logic.NewEventSim(c, lw)
+	lw = ev.LaneWords()
 	nextGoodState := make([]uint64, good.StateWords())
 
 	total := vecs.Len()
-	traceLen := r.segLen
-	if total < traceLen {
-		traceLen = total
+	trace := opts.Trace
+	pinned := trace != nil
+	if pinned {
+		// A pinned trace must span the whole run; complete traces are
+		// already sized and this is a no-op read.
+		trace.EnsureCycles(total)
+	} else {
+		traceLen := r.segLen
+		if total < traceLen {
+			traceLen = total
+		}
+		trace = logic.NewGoodTrace(n.NumNets(), traceLen)
 	}
-	trace := logic.NewGoodTrace(n.NumNets(), traceLen)
 
-	batchFaults := make([]logic.BatchFault, 0, 63)
-	laneStates := make([][]uint64, 0, 63)
+	batchCap := 63 * lw
+	batchFaults := make([]logic.BatchFault, 0, batchCap)
+	laneStates := make([][]uint64, 0, batchCap)
+	det := make([]uint64, lw)
+	doneMask := make([]uint64, lw)
+	liveMask := make([]uint64, lw)
 
 	// Adaptive segmentation: results are segment-length-invariant (every
 	// cycle of every batch replay checks detection), so segment length is
@@ -74,25 +99,25 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 		}
 		segVecs := r.expandSegment(vecs, start, end)
 
-		// Good-machine pass: once per segment instead of once per batch.
-		// The CompiledSim carries the fault-free DFF state across
-		// segments (it is never injected), so no state reload is needed.
-		trace.Reset(len(segVecs))
-		for rc, vec := range segVecs {
-			for bi, in := range inputs {
-				good.SetInput(in, vec>>uint(bi)&1 == 1)
+		// Good-machine pass: once per segment instead of once per batch —
+		// and not at all when a pinned trace already recorded it.
+		var segEvals, segSaved int64
+		if trace.ValidThrough() < end {
+			if !pinned {
+				trace.Window(start, len(segVecs))
 			}
-			good.Settle()
-			trace.Record(rc, good)
-			good.ClockAfterSettle()
+			fillTrace(good, inputs, trace, end,
+				func(cyc int) uint64 { return segVecs[cyc-start] })
+			segEvals = good.TakeEvals()
 		}
-		good.LaneState(0, nextGoodState)
-		segEvals := good.TakeEvals()
-		var segSaved int64
+		// The fault-free state entering the next segment, for survivor
+		// compaction: the frontier right after a fill, a recorded row on
+		// the pure-replay path.
+		trace.StateInto(end, n.DFFs(), nextGoodState)
 
 		var survivors []int
-		for batchStart := 0; batchStart < len(r.remaining); batchStart += 63 {
-			batch := r.remaining[batchStart:min(batchStart+63, len(r.remaining))]
+		for batchStart := 0; batchStart < len(r.remaining); batchStart += batchCap {
+			batch := r.remaining[batchStart:min(batchStart+batchCap, len(r.remaining))]
 			batchFaults = batchFaults[:0]
 			laneStates = laneStates[:0]
 			for li, fi := range batch {
@@ -102,37 +127,50 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 				})
 				laneStates = append(laneStates, r.states[batchStart+li])
 			}
-			ev.BeginBatch(batchFaults, trace, laneStates)
-			var doneMask uint64
-			liveMask := uint64(1)<<uint(len(batch)+1) - 2 // lanes 1..len
+			ev.BeginBatch(batchFaults, trace, start, laneStates)
+			nw := (len(batch) + 62) / 63
+			for w := 0; w < nw; w++ {
+				lanes := len(batch) - w*63
+				if lanes > 63 {
+					lanes = 63
+				}
+				liveMask[w] = uint64(1)<<uint(lanes+1) - 2 // lanes 1..lanes
+				doneMask[w] = 0
+			}
+			done := 0
 			for rc := range segVecs {
-				diff := ev.Cycle(rc) & liveMask &^ doneMask
-				if diff != 0 {
-					for li := range batch {
-						if diff>>(uint(li)+1)&1 == 0 {
+				ev.Cycle(start+rc, det)
+				for w := 0; w < nw; w++ {
+					diff := det[w] & liveMask[w] &^ doneMask[w]
+					if diff == 0 {
+						continue
+					}
+					for lane := uint(1); lane <= 63; lane++ {
+						if diff>>lane&1 == 0 {
 							continue
 						}
-						fi := batch[li]
+						fi := batch[w*63+int(lane)-1]
 						r.counts[fi]++
 						if r.res.DetectedAt[fi] < 0 {
 							r.res.DetectedAt[fi] = int32(start + rc)
 						}
 						if r.counts[fi] >= int32(r.ndet) {
-							doneMask |= 1 << uint(li+1)
+							doneMask[w] |= 1 << lane
+							done++
 							// The lane's result is final; retiring it lets
 							// its divergence die out so later cycles pay
 							// only for the still-live faults.
-							ev.RetireLane(uint(li + 1))
+							ev.RetireLane(w, lane)
 						}
 					}
-					if doneMask == liveMask {
-						// Whole batch done: no lane survives, so no lane
-						// state will be read — safe to abandon the
-						// segment replay early.
-						break
-					}
 				}
-				ev.Clock(rc)
+				if done == len(batch) {
+					// Whole batch done: no lane survives, so no lane
+					// state will be read — safe to abandon the
+					// segment replay early.
+					break
+				}
+				ev.Clock()
 			}
 			for li, fi := range batch {
 				if r.counts[fi] >= int32(r.ndet) {
@@ -141,12 +179,13 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 				// Compact (see simulateReference). Out-of-cone DFFs never
 				// diverge, so the lane state is the good next state
 				// overlaid with the cone's flip-flops.
-				ev.LaneStateInto(uint(li+1), nextGoodState, r.states[len(survivors)])
+				ev.LaneStateInto(li/63, uint(1+li%63), nextGoodState, r.states[len(survivors)])
 				survivors = append(survivors, fi)
 			}
-			be, bs := ev.EndBatch()
+			be, bs, bb := ev.EndBatch()
 			segEvals += be
 			segSaved += bs
+			ctrSweepBlocks.Add(bb)
 		}
 		applied = end
 		ctrGateEvals.Add(segEvals)
@@ -157,4 +196,91 @@ func simulateCompiled(n *logic.Netlist, vecs VectorSeq, opts SimOptions) *Result
 		r.finishSegment(span, opts, survivors, end, total)
 	}
 	return r.finish(span, applied)
+}
+
+// autoLaneWords picks the default EventSim stripe width from the fault
+// list size. One word handles a 63-fault list outright; wider stripes
+// only pay once enough faults exist to fill them — below that the extra
+// words are simulated but carry no lanes. The thresholds follow the
+// BENCH_4 sweep (docs/PERFORMANCE.md): width 8 wins decisively on
+// full-circuit fault lists (and width 16 regresses — the generic stripe
+// loop loses what the extra lanes amortize), widths 2 and 4 cover the
+// mid range where a wider stripe would run mostly-empty words.
+// EffectiveLaneWords reports the stripe width a compiled-kernel run
+// with these options uses on a fault list of the given size: the
+// explicit LaneWords clamped to logic.MaxLaneWords, or the automatic
+// width when unset. Benchmarks use it to label results with the width
+// that actually ran.
+func EffectiveLaneWords(opts SimOptions, numFaults int) int {
+	lw := opts.LaneWords
+	if lw <= 0 {
+		lw = autoLaneWords(numFaults)
+	}
+	if lw > logic.MaxLaneWords {
+		lw = logic.MaxLaneWords
+	}
+	return lw
+}
+
+func autoLaneWords(faults int) int {
+	switch {
+	case faults <= 63:
+		return 1
+	case faults <= 63*4:
+		return 2
+	case faults <= 63*8:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// fillTrace extends trace's recorded prefix through absolute cycle end
+// (exclusive): it seeds the fault-free machine from the trace frontier,
+// simulates and records each missing cycle, and advances the frontier
+// to end so the next fill (or a survivor-state query at the boundary)
+// resumes without resimulation. at supplies the packed input vector for
+// an absolute cycle.
+func fillTrace(good *logic.CompiledSim, inputs []logic.NetID, trace *logic.GoodTrace, end int, at func(int) uint64) {
+	v := trace.ValidThrough()
+	fc, fstate := trace.Frontier()
+	if fc != v {
+		panic("fault: GoodTrace frontier out of sync with recorded prefix")
+	}
+	good.LoadState(fstate)
+	for cyc := v; cyc < end; cyc++ {
+		vec := at(cyc)
+		for bi, in := range inputs {
+			good.SetInput(in, vec>>uint(bi)&1 == 1)
+		}
+		good.Settle()
+		trace.Record(cyc, good)
+		good.ClockAfterSettle()
+	}
+	frontier := make([]uint64, good.StateWords())
+	good.LaneState(0, frontier)
+	trace.SetFrontier(end, frontier)
+	ctrGoodCycles.Add(int64(end - v))
+}
+
+// FillGoodTrace records the fault-free machine's trace for vecs into
+// trace through cycle end (clamped to the sequence length), resuming
+// from whatever prefix is already recorded. The engine uses it to
+// complete a shared artifact trace once, before fanning shards out —
+// after which every run on the same (design, vectors) pair replays with
+// zero good-machine cycles.
+func FillGoodTrace(n *logic.Netlist, prog *logic.Compiled, vecs VectorSeq, trace *logic.GoodTrace, end int) {
+	if end > vecs.Len() {
+		end = vecs.Len()
+	}
+	if trace.ValidThrough() >= end {
+		return
+	}
+	if prog == nil {
+		prog = logic.CompiledFor(n)
+	}
+	trace.EnsureCycles(end)
+	good := logic.NewCompiledSim(prog)
+	fillTrace(good, n.Inputs(), trace, end, vecs.At)
+	ctrGateEvals.Add(good.TakeEvals())
 }

@@ -23,6 +23,13 @@ var (
 	// several) — comparable to within the decomposition factor.
 	ctrGateEvals      = obs.Default().Counter("faultsim.gate_evals")
 	ctrGateEvalsSaved = obs.Default().Counter("faultsim.gate_evals_saved")
+	// good_cycles counts fault-free machine cycles actually simulated to
+	// fill a GoodTrace — zero when a run replays a trace recorded by an
+	// earlier run (the artifact-cache hit path, see internal/artifacts).
+	ctrGoodCycles = obs.Default().Counter("faultsim.good_cycles")
+	// sweep_blocks counts cache-blocked sweep tiles executed by the
+	// compiled kernel's dense-mode cycles (see logic.BlockSlots).
+	ctrSweepBlocks = obs.Default().Counter("faultsim.sweep_blocks")
 
 	// Per-kernel split of the same gate-evaluation tally, exposed on
 	// /v1/metrics so a mixed fleet can attribute load to the kernel that
@@ -110,6 +117,25 @@ type SimOptions struct {
 	// compiled event-driven kernel. Both kernels produce bit-identical
 	// Results.
 	Kernel Kernel
+	// LaneWords widens the compiled kernel's fault batches to 63 ×
+	// LaneWords faults per cone replay (logic.EventSim value stripes of
+	// LaneWords uint64 words per net). Zero auto-tunes from the fault
+	// list size; values clamp to [1, logic.MaxLaneWords]. Results are
+	// bit-identical at every width; the reference kernel ignores it.
+	LaneWords int
+	// Program, when non-nil, is a pre-compiled program for the netlist —
+	// the content-addressed artifact reuse path (internal/artifacts).
+	// Nil compiles on demand via logic.CompiledFor's per-netlist memo.
+	Program *logic.Compiled
+	// Trace, when non-nil, is a shared good-machine trace for exactly
+	// this (netlist, vector sequence) pair, addressed by absolute cycle.
+	// Recorded cycles are replayed without resimulating the fault-free
+	// machine; missing cycles are filled in place and stay recorded for
+	// later runs. The caller owns the pairing guarantee — a trace from
+	// different vectors silently corrupts results — and must not share a
+	// partially-filled trace across concurrent runs (a complete trace is
+	// read-only and safe to share). Nil uses a run-local windowed trace.
+	Trace *logic.GoodTrace
 }
 
 // Result reports a fault simulation run.

@@ -53,10 +53,30 @@ type Compiled struct {
 
 	// pcStart/pcEnd delimit the instruction chain evaluating each
 	// combinational net (zero-length for inputs, constants and DFFs).
-	// Chains are contiguous and emitted in topological order, so
-	// executing pcs 0..len(code) is a full frame sweep.
+	// Chains are contiguous and emitted in schedule order, so executing
+	// pcs 0..len(code) is a full frame sweep.
 	pcStart []int32
 	pcEnd   []int32
+
+	// schedule is the emission order: every combinational net exactly
+	// once, topologically sorted, cone-clustered for cache locality.
+	// Where Netlist.order is level-major (all of level k before level
+	// k+1, so consecutive instructions read operands scattered across
+	// the whole previous level), the schedule is built by depth-first
+	// postorder from each sink — flip-flop D pins first, then primary
+	// outputs — so a sink's entire fanin cone is emitted contiguously
+	// and an instruction's operands were usually produced a short
+	// distance above it. Any topological order yields bit-identical
+	// simulation results; only the memory-access pattern changes.
+	schedule []NetID
+
+	// blockOff partitions the schedule's instruction stream into cache
+	// blocks: block b is instructions [blockOff[b], blockOff[b+1]), cut
+	// when the block's distinct value-slot working set would exceed
+	// BlockSlots. The event kernel tiles its per-batch cone sweep with
+	// the same budget (scaled down by the lane-word count) so one
+	// tile's stripes stay cache-resident across its instructions.
+	blockOff []int32
 
 	// level is the combinational depth per net: frame sources (inputs,
 	// constants, DFF Q nets) are level 0, every combinational net is
@@ -141,13 +161,15 @@ func Compile(n *Netlist) *Compiled {
 		}
 	}
 
-	// Emit instruction chains in topological order.
-	for pos, id := range n.order {
+	// Emit instruction chains in cone-clustered schedule order.
+	c.schedule = buildSchedule(n)
+	for pos, id := range c.schedule {
 		c.orderPos[id] = int32(pos)
 		c.pcStart[id] = int32(len(c.code))
 		c.emitNet(id)
 		c.pcEnd[id] = int32(len(c.code))
 	}
+	c.buildBlocks()
 
 	// CSR fanout.
 	c.foOff = make([]int32, numNets+1)
@@ -174,6 +196,126 @@ func Compile(n *Netlist) *Compiled {
 	}
 	c.foPosOff[numNets] = int32(len(c.foPosList))
 	return c
+}
+
+// buildSchedule computes the cone-clustered topological emission order:
+// iterative depth-first postorder over the combinational nets, rooted at
+// each flip-flop D pin and then each primary output, with any remaining
+// nets (cones observed by nothing) appended in Netlist.order. Postorder
+// emits a net only after every net it reads, and a net reached from an
+// earlier root was already emitted, so the result is topological: in an
+// acyclic combinational frame no net on the DFS stack can be read by a
+// net beneath it.
+func buildSchedule(n *Netlist) []NetID {
+	// state: 0 = non-combinational, 1 = pending, 2 = scheduled/on stack.
+	state := make([]uint8, n.NumNets())
+	for _, id := range n.order {
+		state[id] = 1
+	}
+	sched := make([]NetID, 0, len(n.order))
+	type frame struct {
+		id NetID
+		in int32 // next input ordinal to descend into
+	}
+	var stack []frame
+	visit := func(root NetID) {
+		if state[root] != 1 {
+			return
+		}
+		state[root] = 2
+		stack = append(stack[:0], frame{id: root})
+		for len(stack) > 0 {
+			top := len(stack) - 1
+			id := stack[top].id
+			ins := n.gates[id].In
+			if k := stack[top].in; int(k) < len(ins) {
+				stack[top].in++
+				if ch := ins[k]; state[ch] == 1 {
+					state[ch] = 2
+					stack = append(stack, frame{id: ch})
+				}
+				continue
+			}
+			sched = append(sched, id)
+			stack = stack[:top]
+		}
+	}
+	for _, q := range n.dffs {
+		visit(n.gates[q].In[0])
+	}
+	for _, o := range n.outputs {
+		visit(o)
+	}
+	for _, id := range n.order {
+		visit(id)
+	}
+	return sched
+}
+
+// BlockSlots is the distinct value-slot budget of one cache block of the
+// compiled program: 2048 slots × 8 bytes ≈ 16 KiB of single-word values,
+// half a typical 32 KiB L1d so trace rows and instruction operands fit
+// alongside. The event kernel divides the budget by its lane-word count
+// (wider stripes mean fewer slots per block at the same byte footprint);
+// gate-eval counters and pprof on the Table-1 workload drove the choice
+// — see docs/PERFORMANCE.md.
+const BlockSlots = 2048
+
+// buildBlocks partitions the instruction stream into cache blocks by
+// walking it once, counting distinct slots touched (stamp-dedup) and
+// cutting whenever a block's working set passes BlockSlots.
+func (c *Compiled) buildBlocks() {
+	stamp := make([]int32, c.slots)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	epoch := int32(0)
+	count := 0
+	note := func(slot int32) {
+		if stamp[slot] != epoch {
+			stamp[slot] = epoch
+			count++
+		}
+	}
+	c.blockOff = append(c.blockOff[:0], 0)
+	for pc := range c.code {
+		note(c.dst[pc])
+		note(c.a0[pc])
+		switch c.code[pc] {
+		case opBuf, opNot:
+		case opMux:
+			note(c.a1[pc])
+			note(c.a2[pc])
+		default:
+			note(c.a1[pc])
+		}
+		if count > BlockSlots {
+			c.blockOff = append(c.blockOff, int32(pc+1))
+			epoch++
+			count = 0
+		}
+	}
+	if last := int32(len(c.code)); len(c.blockOff) == 1 || c.blockOff[len(c.blockOff)-1] != last {
+		c.blockOff = append(c.blockOff, last)
+	}
+}
+
+// NumBlocks returns the number of cache blocks the schedule was cut
+// into (see BlockSlots).
+func (c *Compiled) NumBlocks() int { return len(c.blockOff) - 1 }
+
+// Schedule returns the cone-clustered emission order (read-only).
+func (c *Compiled) Schedule() []NetID { return c.schedule }
+
+// SizeBytes estimates the program's resident size, for artifact-cache
+// byte budgeting: the instruction stream plus the per-net metadata
+// tables (the netlist itself is accounted by its own owner).
+func (c *Compiled) SizeBytes() int64 {
+	perInstr := int64(1 + 4*4) // code + dst/a0/a1/a2
+	perNet := int64(9*4 + 1)   // int32 tables + dPin
+	fan := int64(len(c.foList)+len(c.foPosList)) * 4
+	return int64(len(c.code))*perInstr + int64(c.numNets)*perNet + fan +
+		int64(len(c.schedule))*4 + int64(len(c.blockOff))*4
 }
 
 // emitNet appends the instruction chain computing net id.
@@ -294,6 +436,169 @@ func runProgram(code []opcode, dst, a0, a1, a2 []int32, vals []uint64, ps, pe in
 			v = (vals[a1[pc]] &^ sel) | (vals[a2[pc]] & sel)
 		}
 		vals[dst[pc]] = v
+	}
+}
+
+// runProgramStripes executes instructions [ps, pe) against lw-word
+// value stripes (vals[slot*lw : slot*lw+lw]) with no stuck-at masking —
+// the multi-word generalization of runProgram used by the event
+// kernel's cone sweep when a batch spans more than one lane word. One
+// instruction dispatch covers lw words, which is where widening the
+// batch amortizes the per-instruction scheduling cost.
+func runProgramStripes(code []opcode, dst, a0, a1, a2 []int32, vals []uint64, lw int, ps, pe int32) {
+	code = code[ps:pe]
+	dst = dst[ps:pe][:len(code)]
+	a0 = a0[ps:pe][:len(code)]
+	a1 = a1[ps:pe][:len(code)]
+	a2 = a2[ps:pe][:len(code)]
+	for pc := range code {
+		dv := vals[int(dst[pc])*lw:][:lw]
+		xv := vals[int(a0[pc])*lw:][:lw]
+		switch code[pc] {
+		case opBuf:
+			copy(dv, xv)
+		case opNot:
+			for w := range dv {
+				dv[w] = ^xv[w]
+			}
+		case opAnd2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = xv[w] & yv[w]
+			}
+		case opOr2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = xv[w] | yv[w]
+			}
+		case opNand2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = ^(xv[w] & yv[w])
+			}
+		case opNor2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = ^(xv[w] | yv[w])
+			}
+		case opXor2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = xv[w] ^ yv[w]
+			}
+		case opXnor2:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = ^(xv[w] ^ yv[w])
+			}
+		case opMux:
+			yv := vals[int(a1[pc])*lw:][:lw]
+			zv := vals[int(a2[pc])*lw:][:lw]
+			for w := range dv {
+				dv[w] = (yv[w] &^ xv[w]) | (zv[w] & xv[w])
+			}
+		}
+	}
+}
+
+// runProgramStripes4 is runProgramStripes specialized (and unrolled)
+// for the common auto-tuned width of 4 lane words.
+func runProgramStripes4(code []opcode, dst, a0, a1, a2 []int32, vals []uint64, ps, pe int32) {
+	code = code[ps:pe]
+	dst = dst[ps:pe][:len(code)]
+	a0 = a0[ps:pe][:len(code)]
+	a1 = a1[ps:pe][:len(code)]
+	a2 = a2[ps:pe][:len(code)]
+	for pc := range code {
+		dv := vals[int(dst[pc])<<2:][:4]
+		xv := vals[int(a0[pc])<<2:][:4]
+		switch code[pc] {
+		case opBuf:
+			dv[0], dv[1], dv[2], dv[3] = xv[0], xv[1], xv[2], xv[3]
+		case opNot:
+			dv[0], dv[1], dv[2], dv[3] = ^xv[0], ^xv[1], ^xv[2], ^xv[3]
+		case opAnd2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]&yv[0], xv[1]&yv[1], xv[2]&yv[2], xv[3]&yv[3]
+		case opOr2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]|yv[0], xv[1]|yv[1], xv[2]|yv[2], xv[3]|yv[3]
+		case opNand2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] & yv[0]), ^(xv[1] & yv[1]), ^(xv[2] & yv[2]), ^(xv[3] & yv[3])
+		case opNor2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] | yv[0]), ^(xv[1] | yv[1]), ^(xv[2] | yv[2]), ^(xv[3] | yv[3])
+		case opXor2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]^yv[0], xv[1]^yv[1], xv[2]^yv[2], xv[3]^yv[3]
+		case opXnor2:
+			yv := vals[int(a1[pc])<<2:][:4]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] ^ yv[0]), ^(xv[1] ^ yv[1]), ^(xv[2] ^ yv[2]), ^(xv[3] ^ yv[3])
+		case opMux:
+			yv := vals[int(a1[pc])<<2:][:4]
+			zv := vals[int(a2[pc])<<2:][:4]
+			dv[0] = (yv[0] &^ xv[0]) | (zv[0] & xv[0])
+			dv[1] = (yv[1] &^ xv[1]) | (zv[1] & xv[1])
+			dv[2] = (yv[2] &^ xv[2]) | (zv[2] & xv[2])
+			dv[3] = (yv[3] &^ xv[3]) | (zv[3] & xv[3])
+		}
+	}
+}
+
+// runProgramStripes8 is runProgramStripes specialized (and unrolled)
+// for 8 lane words, the widest auto-tuned stripe.
+func runProgramStripes8(code []opcode, dst, a0, a1, a2 []int32, vals []uint64, ps, pe int32) {
+	code = code[ps:pe]
+	dst = dst[ps:pe][:len(code)]
+	a0 = a0[ps:pe][:len(code)]
+	a1 = a1[ps:pe][:len(code)]
+	a2 = a2[ps:pe][:len(code)]
+	for pc := range code {
+		dv := vals[int(dst[pc])<<3:][:8]
+		xv := vals[int(a0[pc])<<3:][:8]
+		switch code[pc] {
+		case opBuf:
+			copy(dv, xv)
+		case opNot:
+			dv[0], dv[1], dv[2], dv[3] = ^xv[0], ^xv[1], ^xv[2], ^xv[3]
+			dv[4], dv[5], dv[6], dv[7] = ^xv[4], ^xv[5], ^xv[6], ^xv[7]
+		case opAnd2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]&yv[0], xv[1]&yv[1], xv[2]&yv[2], xv[3]&yv[3]
+			dv[4], dv[5], dv[6], dv[7] = xv[4]&yv[4], xv[5]&yv[5], xv[6]&yv[6], xv[7]&yv[7]
+		case opOr2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]|yv[0], xv[1]|yv[1], xv[2]|yv[2], xv[3]|yv[3]
+			dv[4], dv[5], dv[6], dv[7] = xv[4]|yv[4], xv[5]|yv[5], xv[6]|yv[6], xv[7]|yv[7]
+		case opNand2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] & yv[0]), ^(xv[1] & yv[1]), ^(xv[2] & yv[2]), ^(xv[3] & yv[3])
+			dv[4], dv[5], dv[6], dv[7] = ^(xv[4] & yv[4]), ^(xv[5] & yv[5]), ^(xv[6] & yv[6]), ^(xv[7] & yv[7])
+		case opNor2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] | yv[0]), ^(xv[1] | yv[1]), ^(xv[2] | yv[2]), ^(xv[3] | yv[3])
+			dv[4], dv[5], dv[6], dv[7] = ^(xv[4] | yv[4]), ^(xv[5] | yv[5]), ^(xv[6] | yv[6]), ^(xv[7] | yv[7])
+		case opXor2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = xv[0]^yv[0], xv[1]^yv[1], xv[2]^yv[2], xv[3]^yv[3]
+			dv[4], dv[5], dv[6], dv[7] = xv[4]^yv[4], xv[5]^yv[5], xv[6]^yv[6], xv[7]^yv[7]
+		case opXnor2:
+			yv := vals[int(a1[pc])<<3:][:8]
+			dv[0], dv[1], dv[2], dv[3] = ^(xv[0] ^ yv[0]), ^(xv[1] ^ yv[1]), ^(xv[2] ^ yv[2]), ^(xv[3] ^ yv[3])
+			dv[4], dv[5], dv[6], dv[7] = ^(xv[4] ^ yv[4]), ^(xv[5] ^ yv[5]), ^(xv[6] ^ yv[6]), ^(xv[7] ^ yv[7])
+		case opMux:
+			yv := vals[int(a1[pc])<<3:][:8]
+			zv := vals[int(a2[pc])<<3:][:8]
+			dv[0] = (yv[0] &^ xv[0]) | (zv[0] & xv[0])
+			dv[1] = (yv[1] &^ xv[1]) | (zv[1] & xv[1])
+			dv[2] = (yv[2] &^ xv[2]) | (zv[2] & xv[2])
+			dv[3] = (yv[3] &^ xv[3]) | (zv[3] & xv[3])
+			dv[4] = (yv[4] &^ xv[4]) | (zv[4] & xv[4])
+			dv[5] = (yv[5] &^ xv[5]) | (zv[5] & xv[5])
+			dv[6] = (yv[6] &^ xv[6]) | (zv[6] & xv[6])
+			dv[7] = (yv[7] &^ xv[7]) | (zv[7] & xv[7])
+		}
 	}
 }
 

@@ -10,92 +10,62 @@ import (
 // eventsim.go is the event-driven half of the compiled fault-simulation
 // kernel. The fault simulator runs the fault-free machine once per
 // segment (recording every net's value per cycle into a GoodTrace) and
-// then replays each 63-fault batch through an EventSim, which tracks
-// only *divergence from the good machine*: per cycle the sole sources
-// of divergence are the injected sites and flip-flops whose state
-// already diverged, so the simulator seeds those and propagates
-// XOR-difference words level by level through the batch's fanout cone.
-// A net whose recomputed value matches the good machine stops the
-// propagation (the fault effect is blocked), so each batch cycle costs
-// the size of the live fault-effect region — usually a sliver of the
-// circuit — rather than a full frame sweep. Absolute values are never
-// materialized; a gate evaluation reconstructs its operands as
-// good-trace bit ⊕ difference on demand.
+// then replays each fault batch through an EventSim, which tracks only
+// *divergence from the good machine*: per cycle the sole sources of
+// divergence are the injected sites and flip-flops whose state already
+// diverged, so the simulator seeds those and propagates XOR-difference
+// words through the batch's fanout cone. A net whose recomputed value
+// matches the good machine stops the propagation (the fault effect is
+// blocked), so each batch cycle costs the size of the live fault-effect
+// region — usually a sliver of the circuit — rather than a full frame
+// sweep. Absolute values are never materialized; a gate evaluation
+// reconstructs its operands as good-trace bit ⊕ difference on demand.
 //
 // This is the classic PROOFS-style observation that makes event-driven
 // fault simulation pay off under pseudorandom vectors: almost every net
 // *toggles* every cycle (so change-driven scheduling saves nothing),
 // but almost no net *diverges* from the good machine.
+//
+// A batch spans laneWords (W) 64-bit words per net — bit 0 of every
+// word is kept clear (the good machine lives in the trace), so one
+// batch carries up to W×63 faults. Per-net stamps, the event bitmap and
+// the cone structure are shared across the W words: one scheduling
+// decision, one operand reconstruction dispatch and one sweep
+// instruction dispatch amortize over the whole stripe, which is where
+// widening the batch beats running W separate 63-fault batches (their
+// cones largely overlap, so the union cone is far smaller than W
+// disjoint replays).
 
-// GoodTrace stores the fault-free machine's per-cycle net values for
-// one segment as packed bitsets (one bit per net per cycle, snapshotted
-// after settle and before the clock edge).
-type GoodTrace struct {
-	words  int // uint64 words per cycle row
-	cycles int
-	bits   []uint64
-}
-
-// NewGoodTrace returns a trace for a circuit with numNets nets, sized
-// for up to maxCycles cycles.
-func NewGoodTrace(numNets, maxCycles int) *GoodTrace {
-	w := (numNets + 63) / 64
-	if w == 0 {
-		w = 1
-	}
-	return &GoodTrace{words: w, bits: make([]uint64, w*maxCycles)}
-}
-
-// Reset prepares the trace to record a segment of the given length,
-// growing the backing storage if needed.
-func (t *GoodTrace) Reset(cycles int) {
-	if need := cycles * t.words; need > len(t.bits) {
-		t.bits = make([]uint64, need)
-	}
-	t.cycles = cycles
-}
-
-// Cycles returns the recorded segment length.
-func (t *GoodTrace) Cycles() int { return t.cycles }
-
-// Record snapshots lane 0 of the simulator's settled frame at the given
-// segment-relative cycle.
-func (t *GoodTrace) Record(cycle int, s *CompiledSim) {
-	row := t.bits[cycle*t.words : (cycle+1)*t.words]
-	for i := range row {
-		row[i] = 0
-	}
-	for i, v := range s.vals[:s.c.numNets] {
-		row[i>>6] |= (v & 1) << (uint(i) & 63)
-	}
-}
-
-// Bit returns net id's fault-free value (0 or 1) at the cycle.
-func (t *GoodTrace) Bit(cycle int, id NetID) uint64 {
-	return t.bits[cycle*t.words+int(id)>>6] >> (uint(id) & 63) & 1
-}
-
-// Word returns net id's fault-free value broadcast across all 64 lanes.
-func (t *GoodTrace) Word(cycle int, id NetID) uint64 {
-	return -t.Bit(cycle, id)
-}
+// MaxLaneWords bounds EventSim stripe width. Memory per simulator grows
+// linearly with it; the useful range tops out well below this (see
+// docs/PERFORMANCE.md for the measured sweep).
+const MaxLaneWords = 16
 
 // BatchFault is one stuck-at injection for an EventSim batch; the fault
-// at index i of BeginBatch's slice occupies lane i+1.
+// at index i of BeginBatch's slice occupies word i/63, lane 1 + i%63.
 type BatchFault struct {
 	Site NetID
 	SA1  bool
 }
 
 // DefaultSweepThreshold is the fraction of the batch cone's instruction
-// count an event-driven settle may execute before the cycle abandons
-// event scheduling and runs the cone sweep instead. The event path
-// costs several times more per instruction than the sweep (scattered
-// operand reconstruction and worklist bookkeeping versus a linear pass
-// over a compacted program), so the break-even sits well below 1.0;
-// 0.2 was measured on the gate-level DSP core (see
+// count a single-word event-driven settle may execute before the cycle
+// abandons event scheduling and runs the cone sweep instead. The event
+// path costs several times more per instruction than the sweep
+// (scattered operand reconstruction and worklist bookkeeping versus a
+// linear pass over a compacted program), so the break-even sits well
+// below 1.0; 0.2 was measured on the gate-level DSP core (see
 // docs/PERFORMANCE.md).
 const DefaultSweepThreshold = 0.2
+
+// sweepThresholdFor is the measured event-abandonment threshold for a
+// stripe width. The BENCH_4 sweep showed the break-even barely moves
+// with width — the event path's scattered operand reconstruction costs
+// per word, not per instruction — so all widths share the single-word
+// threshold.
+func sweepThresholdFor(lw int) float64 {
+	return DefaultSweepThreshold
+}
 
 // sweepRetryInterval is how many consecutive sweep-mode cycles run
 // before the simulator retries event scheduling. Divergence decays as
@@ -110,30 +80,39 @@ const sweepRetryInterval = 8
 // Usage per batch: BeginBatch, then per cycle Cycle followed by Clock,
 // then LaneStateInto per surviving lane and EndBatch.
 type EventSim struct {
-	c *Compiled
+	c  *Compiled
+	lw int // lane words per stripe (W)
 
-	// Per-net injection masks (real nets only; the final instruction of
-	// a chain is the only masked one).
+	// Per-net injection mask stripes (sa0[net*lw+w]; real nets only —
+	// the final instruction of a chain is the only masked one).
 	sa0      []uint64
 	sa1      []uint64
 	injected []NetID
 
-	// diff[net] is the XOR divergence from the good machine, valid only
-	// while divStamp[net] == cyc (stamps make per-cycle reset O(1)).
+	// diff[net*lw : net*lw+lw] is the XOR divergence stripe from the
+	// good machine, valid only while divStamp[net] == cyc (stamps make
+	// per-cycle reset O(1); one stamp covers the whole stripe).
 	diff     []uint64
 	divStamp []uint64
 	cyc      uint64
 
-	// tmpAbs holds absolute values for the temporary slots of the chain
-	// currently being evaluated (indices >= numNets only).
+	// tmpAbs holds absolute value stripes for the temporary slots of the
+	// chain currently being evaluated (indices >= numNets only).
 	tmpAbs []uint64
+
+	// Scratch stripes for the multi-word event path: the value being
+	// computed and up to three reconstructed operands.
+	vBuf []uint64
+	ob0  []uint64
+	ob1  []uint64
+	ob2  []uint64
 
 	// Batch membership is epoch-stamped so teardown is O(1).
 	epoch     uint32
 	rEpoch    []uint32 // net reachable from an injected site
 	combEpoch []uint32 // reachable and combinational (eligible for queueing)
 
-	// bm is the event scheduler: one bit per chain position
+	// bm is the event scheduler: one bit per schedule position
 	// (Compiled.orderPos), set when the gate at that position must be
 	// re-evaluated this cycle. Word-order scanning visits gates in
 	// topological order, marking a reader is a single OR (idempotent, so
@@ -145,40 +124,61 @@ type EventSim struct {
 	rAll  []NetID  // every reachable net (BFS order)
 	rWork []NetID  // reachable combinational nets, topological order
 	rDFF  []int32  // ordinals into Netlist.DFFs of reachable flip-flops
-	qDiff []uint64 // per-rDFF state divergence from the good machine
+	qDiff []uint64 // per-rDFF state divergence stripes (stride lw)
 	rOut  []int32  // ordinals into Netlist.Outputs of reachable outputs
 	sites []NetID
-	// laneSite[i] is lane i+1's injection site, for RetireLane.
+	// laneSite[i] is fault i's injection site (word i/63, lane 1+i%63),
+	// for RetireLane.
 	laneSite []NetID
-	// Lane retirement bookkeeping: retired is the lane bitmask, and when
-	// liveCount falls to shrinkAt the cone is rebuilt from the live
-	// sites at the next Cycle (pendingShrink defers the rebuild so it
-	// never lands between a Cycle and its Clock).
-	retired       uint64
+	// Lane retirement bookkeeping: retired[w] is word w's lane bitmask,
+	// and when liveCount falls to shrinkAt the cone is rebuilt from the
+	// live sites at the next Cycle (pendingShrink defers the rebuild so
+	// it never lands between a Cycle and its Clock).
+	retired       []uint64
 	liveCount     int
 	shrinkAt      int
 	pendingShrink bool
 
 	// Sweep mode: a compacted copy of the cone's instruction chains in
-	// topological order, evaluated over absolute values (swVals) at
-	// full-sweep speed when divergence is too dense for event scheduling
-	// to pay. bound lists the sweep's read-only frontier — nets read by
-	// cone instructions (or cone flip-flop D pins) but computed outside
-	// the cone — reseeded from the good trace each sweep cycle; bEpoch
-	// dedups it. swMaskPC holds the positions of injected sites' final
-	// instructions, so the stretches between them run mask-free. swept
-	// records which mode settled the current cycle (so Clock reads the
-	// matching state); sweepNext and sweepStreak drive the adaptive mode
-	// switch.
-	swCode      []opcode
-	swDst       []int32
-	swA0        []int32
-	swA1        []int32
-	swA2        []int32
-	swMaskPC    []int32
-	swVals      []uint64
-	bound       []NetID
-	bEpoch      []uint32
+	// topological order, evaluated over absolute value stripes (swVals)
+	// at full-sweep speed when divergence is too dense for event
+	// scheduling to pay. bound lists the sweep's read-only frontier —
+	// nets read by cone instructions (or cone flip-flop D pins) but
+	// computed outside the cone — reseeded from the good trace each
+	// sweep cycle; bEpoch dedups it. Injection masks are fused into the
+	// program: an injected site's chain is followed by v |= sa1 then
+	// v &= ^sa0 instructions whose second operands live in per-site mask
+	// slots appended after the compiled slots (maskSlot maps site →
+	// first slot while maskSlotEpoch matches; RetireLane edits the slot
+	// stripes in place), so a sweep cycle is pure straight-line
+	// execution. swBlock tiles the program into cache blocks (see
+	// BlockSlots): block budgets shrink with lw so one tile's stripes
+	// stay L1-resident across its instructions. swept records which mode
+	// settled the current cycle (so Clock reads the matching state);
+	// sweepNext and sweepStreak drive the adaptive mode switch.
+	swCode        []opcode
+	swDst         []int32
+	swA0          []int32
+	swA1          []int32
+	swA2          []int32
+	swBlock       []int32
+	swVals        []uint64
+	nextMaskSlot  int32
+	maskSlot      []int32
+	maskSlotEpoch []uint32
+	bound         []NetID
+	boundMsk      []NetID
+	bEpoch        []uint32
+	blkStamp      []uint32
+	blkEpoch      uint32
+
+	// Per-rDFF summaries so quiescent flip-flops cost one word instead
+	// of a stripe scan: qAny[k] is the OR of qDiff's stripe, qMask[k]
+	// the OR of the Q-site injection mask stripes (nonzero only for
+	// injected flip-flop outputs).
+	qAny  []uint64
+	qMask []uint64
+
 	swept       bool
 	sweepNext   bool
 	sweepStreak int
@@ -200,38 +200,64 @@ type EventSim struct {
 
 	evals      int64
 	evalsSaved int64
+	blocksRun  int64
 }
 
-// NewEventSim returns an EventSim for the compiled circuit.
-func NewEventSim(c *Compiled) *EventSim {
+// NewEventSim returns an EventSim for the compiled circuit with stripes
+// of laneWords words (clamped to [1, MaxLaneWords]); a batch carries up
+// to 63×laneWords faults.
+func NewEventSim(c *Compiled, laneWords int) *EventSim {
+	lw := laneWords
+	if lw < 1 {
+		lw = 1
+	}
+	if lw > MaxLaneWords {
+		lw = MaxLaneWords
+	}
 	return &EventSim{
-		c: c,
+		c:  c,
+		lw: lw,
 		// Masks are slot-sized (temporaries are never injected and stay
 		// zero) so the sweep can apply them by instruction destination.
-		sa0:       make([]uint64, c.slots),
-		sa1:       make([]uint64, c.slots),
-		diff:      make([]uint64, c.numNets),
-		divStamp:  make([]uint64, c.numNets),
-		tmpAbs:    make([]uint64, c.slots),
-		rEpoch:    make([]uint32, c.numNets),
-		combEpoch: make([]uint32, c.numNets),
-		bm:        make([]uint64, (len(c.n.order)+63)/64),
-		swVals:     make([]uint64, c.slots),
-		bEpoch:     make([]uint32, c.numNets),
-		aliasTo:    make([]int32, c.numNets),
-		aliasEpoch: make([]uint32, c.numNets),
-		Threshold: DefaultSweepThreshold,
+		sa0:           make([]uint64, c.slots*lw),
+		sa1:           make([]uint64, c.slots*lw),
+		diff:          make([]uint64, c.numNets*lw),
+		divStamp:      make([]uint64, c.numNets),
+		tmpAbs:        make([]uint64, c.slots*lw),
+		vBuf:          make([]uint64, lw),
+		ob0:           make([]uint64, lw),
+		ob1:           make([]uint64, lw),
+		ob2:           make([]uint64, lw),
+		rEpoch:        make([]uint32, c.numNets),
+		combEpoch:     make([]uint32, c.numNets),
+		bm:            make([]uint64, (len(c.schedule)+63)/64),
+		retired:       make([]uint64, lw),
+		swVals:        make([]uint64, c.slots*lw),
+		maskSlot:      make([]int32, c.numNets),
+		maskSlotEpoch: make([]uint32, c.numNets),
+		bEpoch:        make([]uint32, c.numNets),
+		blkStamp:      make([]uint32, c.slots),
+		aliasTo:       make([]int32, c.numNets),
+		aliasEpoch:    make([]uint32, c.numNets),
+		Threshold:     sweepThresholdFor(lw),
 	}
 }
 
+// LaneWords returns the stripe width W (64-bit words per net).
+func (e *EventSim) LaneWords() int { return e.lw }
+
 // BeginBatch installs a fault batch: injection masks, the reachable
 // cone (transitive fanout of the sites, closed through DFF D→Q edges),
-// and each lane's initial flip-flop divergence from laneStates (packed
-// per Netlist.DFFs order; nil means the lane starts at the fault-free
-// state). The trace must already hold the segment's fault-free run.
-func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates [][]uint64) {
-	if len(faults) > 63 {
-		panic(fmt.Sprintf("logic: EventSim batch of %d faults exceeds 63 lanes", len(faults)))
+// and each fault's initial flip-flop divergence from laneStates (packed
+// per Netlist.DFFs order; nil means the fault starts at the fault-free
+// state). The trace must already hold the fault-free run through the
+// cycles this batch will replay; base is the absolute cycle the batch
+// starts at (laneStates describe the machine entering that cycle).
+func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, base int, laneStates [][]uint64) {
+	lw := e.lw
+	if len(faults) > 63*lw {
+		panic(fmt.Sprintf("logic: EventSim batch of %d faults exceeds %d lanes (%d words)",
+			len(faults), 63*lw, lw))
 	}
 	c, n := e.c, e.c.n
 	e.trace = trace
@@ -243,22 +269,21 @@ func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates 
 	e.sites = e.sites[:0]
 	e.laneSite = e.laneSite[:0]
 
-	// Injection masks; lane i+1 carries faults[i].
+	// Injection masks; fault i lands in word i/63, lane 1 + i%63.
 	for i, f := range faults {
 		e.laneSite = append(e.laneSite, f.Site)
-		lane := uint(i + 1)
-		if e.sa0[f.Site] == 0 && e.sa1[f.Site] == 0 {
-			e.injected = append(e.injected, f.Site)
-		}
+		b := int(f.Site)*lw + i/63
+		lane := uint(1 + i%63)
 		if f.SA1 {
-			e.sa1[f.Site] |= 1 << lane
+			e.sa1[b] |= 1 << lane
 		} else {
-			e.sa0[f.Site] |= 1 << lane
+			e.sa0[b] |= 1 << lane
 		}
 		if e.rEpoch[f.Site] != e.epoch {
 			e.rEpoch[f.Site] = e.epoch
 			e.rAll = append(e.rAll, f.Site)
 			e.sites = append(e.sites, f.Site)
+			e.injected = append(e.injected, f.Site)
 		}
 	}
 
@@ -288,11 +313,43 @@ func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates 
 			e.rOut = append(e.rOut, c.outIndex[id])
 		}
 	}
-	sortByOrderPos(e.rWork, c.orderPos)
-	if cap(e.qDiff) < len(e.rDFF) {
-		e.qDiff = make([]uint64, len(e.rDFF))
+	// Order rWork topologically: a wide cone (union of many faults'
+	// fanouts) usually covers most of the circuit, where filtering the
+	// precomputed schedule is a single linear pass; narrow cones sort.
+	if len(e.rWork)*4 >= len(c.schedule) {
+		e.rWork = e.rWork[:0]
+		for _, id := range c.schedule {
+			if e.combEpoch[id] == e.epoch {
+				e.rWork = append(e.rWork, id)
+			}
+		}
+	} else {
+		sortByOrderPos(e.rWork, c.orderPos)
 	}
-	e.qDiff = e.qDiff[:len(e.rDFF)]
+	if cap(e.qDiff) < len(e.rDFF)*lw {
+		e.qDiff = make([]uint64, len(e.rDFF)*lw)
+	}
+	e.qDiff = e.qDiff[:len(e.rDFF)*lw]
+	if cap(e.qAny) < len(e.rDFF) {
+		e.qAny = make([]uint64, len(e.rDFF))
+		e.qMask = make([]uint64, len(e.rDFF))
+	}
+	e.qAny = e.qAny[:len(e.rDFF)]
+	e.qMask = e.qMask[:len(e.rDFF)]
+	// The sweep program appends two mask slots per injected site after
+	// the compiled slots (see buildSweep); size the value stripes and
+	// the block-budget stamp array for the worst case.
+	maxSlots := c.slots + 2*len(e.sites)
+	if cap(e.swVals) < maxSlots*lw {
+		e.swVals = make([]uint64, maxSlots*lw)
+	}
+	e.swVals = e.swVals[:maxSlots*lw]
+	if cap(e.blkStamp) < maxSlots {
+		grown := make([]uint32, maxSlots)
+		copy(grown, e.blkStamp)
+		e.blkStamp = grown
+	}
+	e.blkStamp = e.blkStamp[:maxSlots]
 	e.buildSweep()
 	e.budget = int(e.Threshold * float64(len(e.swCode)))
 	if e.budget < 16 {
@@ -301,41 +358,69 @@ func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates 
 	e.swept = false
 	e.sweepNext = false
 	e.sweepStreak = 0
-	e.retired = 0
+	for w := range e.retired {
+		e.retired[w] = 0
+	}
 	e.liveCount = len(faults)
 	e.shrinkAt = len(faults) / 2
 	e.pendingShrink = false
 
-	// Initial flip-flop divergence: each lane's saved state overlaid on
-	// the fault-free segment-start state (the trace's cycle-0 Q values),
+	// Initial flip-flop divergence: each fault's saved state overlaid on
+	// the fault-free batch-start state (the trace's base-cycle Q values),
 	// masked for Q-site faults — the analogue of SetLaneState +
 	// ApplyInjectionsToValues on the reference simulator.
 	for k, di := range e.rDFF {
 		q := n.dffs[di]
-		good := trace.Word(0, q)
-		w := good
-		for li, st := range laneStates {
-			if st == nil {
-				continue
+		good := trace.Word(base, q)
+		qb := int(q) * lw
+		var anyD, anyM uint64
+		for w := 0; w < lw; w++ {
+			v := good
+			lo := w * 63
+			hi := lo + 63
+			if hi > len(laneStates) {
+				hi = len(laneStates)
 			}
-			bit := uint64(1) << uint(li+1)
-			if st[di>>6]>>(uint(di)&63)&1 == 1 {
-				w |= bit
-			} else {
-				w &^= bit
+			for li := lo; li < hi; li++ {
+				st := laneStates[li]
+				if st == nil {
+					continue
+				}
+				bit := uint64(1) << uint(1+li-lo)
+				if st[di>>6]>>(uint(di)&63)&1 == 1 {
+					v |= bit
+				} else {
+					v &^= bit
+				}
 			}
+			v = (v &^ e.sa0[qb+w]) | e.sa1[qb+w]
+			d := (v ^ good) &^ 1
+			e.qDiff[k*lw+w] = d
+			anyD |= d
+			anyM |= e.sa0[qb+w] | e.sa1[qb+w]
 		}
-		w = (w &^ e.sa0[q]) | e.sa1[q]
-		e.qDiff[k] = (w ^ good) &^ 1
+		e.qAny[k] = anyD
+		e.qMask[k] = anyM
 	}
 }
 
+// blockBudget is the sweep tile's distinct-slot budget: BlockSlots
+// single-word slots shrunk by the stripe width so the tile's byte
+// footprint stays constant as lanes widen.
+func (e *EventSim) blockBudget() int {
+	b := BlockSlots / e.lw
+	if b < 256 {
+		b = 256
+	}
+	return b
+}
+
 // buildSweep compacts the cone's instruction chains (rWork is already
-// in topological order) into the sweep program and collects its read
-// frontier: every real-net operand that no cone instruction computes
+// in topological order) into the sweep program, collects its read
+// frontier — every real-net operand that no cone instruction computes
 // and no cone flip-flop seeds, plus the D nets the sweep-mode Clock
-// reads. Temporary slots are always written by their own chain before
-// use, so only real nets can be frontier.
+// reads — and tiles the program into cache blocks (swBlock) by the
+// distinct-slot budget.
 //
 // Mask-free buffer chains are copy-propagated away instead of emitted:
 // on a fanout-branched netlist most "gates" are branch buffers whose
@@ -348,14 +433,25 @@ func (e *EventSim) BeginBatch(faults []BatchFault, trace *GoodTrace, laneStates 
 // event path is untouched — it evaluates the full compiled program,
 // where the buffers still exist.
 func (e *EventSim) buildSweep() {
-	c := e.c
+	c, lw := e.c, e.lw
 	e.swCode = e.swCode[:0]
 	e.swDst = e.swDst[:0]
 	e.swA0 = e.swA0[:0]
 	e.swA1 = e.swA1[:0]
 	e.swA2 = e.swA2[:0]
-	e.swMaskPC = e.swMaskPC[:0]
+	e.nextMaskSlot = int32(c.slots)
 	e.bound = e.bound[:0]
+	e.boundMsk = e.boundMsk[:0]
+	e.swBlock = append(e.swBlock[:0], 0)
+	e.blkEpoch++
+	blkBudget := e.blockBudget()
+	blkCount := 0
+	note := func(slot int32) {
+		if e.blkStamp[slot] != e.blkEpoch {
+			e.blkStamp[slot] = e.blkEpoch
+			blkCount++
+		}
+	}
 	resolve := func(op int32) int32 {
 		if int(op) < c.numNets && e.aliasEpoch[op] == e.epoch {
 			return e.aliasTo[op]
@@ -364,7 +460,14 @@ func (e *EventSim) buildSweep() {
 	}
 	for _, id := range e.rWork {
 		ps, pe := c.pcStart[id], c.pcEnd[id]
-		masked := e.sa0[id]|e.sa1[id] != 0
+		masked := false
+		mb := int(id) * lw
+		for w := 0; w < lw; w++ {
+			if e.sa0[mb+w]|e.sa1[mb+w] != 0 {
+				masked = true
+				break
+			}
+		}
 		if !masked && pe-ps == 1 && c.code[ps] == opBuf &&
 			c.outIndex[id] < 0 && !c.dPin[id] {
 			// rWork is topological, so the source's own alias (if any)
@@ -374,31 +477,66 @@ func (e *EventSim) buildSweep() {
 			e.aliasEpoch[id] = e.epoch
 			continue
 		}
-		if masked {
-			// The chain's final instruction (the one driving the real
-			// net) must apply this site's masks; everything between two
-			// such positions runs mask-free.
-			e.swMaskPC = append(e.swMaskPC, int32(len(e.swCode))+pe-ps-1)
-		}
 		for pc := ps; pc < pe; pc++ {
 			a0, a1, a2 := resolve(c.a0[pc]), c.a1[pc], c.a2[pc]
 			e.noteFrontier(a0)
+			note(c.dst[pc])
+			note(a0)
 			switch c.code[pc] {
 			case opBuf, opNot:
 			case opMux:
 				a1, a2 = resolve(a1), resolve(a2)
 				e.noteFrontier(a1)
 				e.noteFrontier(a2)
+				note(a1)
+				note(a2)
 			default:
 				a1 = resolve(a1)
 				e.noteFrontier(a1)
+				note(a1)
 			}
 			e.swCode = append(e.swCode, c.code[pc])
 			e.swDst = append(e.swDst, c.dst[pc])
 			e.swA0 = append(e.swA0, a0)
 			e.swA1 = append(e.swA1, a1)
 			e.swA2 = append(e.swA2, a2)
+			if blkCount > blkBudget {
+				e.swBlock = append(e.swBlock, int32(len(e.swCode)))
+				e.blkEpoch++
+				blkCount = 0
+			}
 		}
+		if masked {
+			// Fused mask application right after the chain's final
+			// instruction: v = (v | sa1) &^ sa0 (the masks are lane-
+			// disjoint, so the OR/AND order is equivalent), as two
+			// instructions whose second operands live in the site's mask
+			// slots — m0 holds the ^sa0 stripe, m1 the sa1 stripe — which
+			// RetireLane edits in place.
+			m0, m1 := e.nextMaskSlot, e.nextMaskSlot+1
+			e.nextMaskSlot += 2
+			e.maskSlot[id] = m0
+			e.maskSlotEpoch[id] = e.epoch
+			for w := 0; w < lw; w++ {
+				e.swVals[int(m0)*lw+w] = ^e.sa0[mb+w]
+				e.swVals[int(m1)*lw+w] = e.sa1[mb+w]
+			}
+			note(m0)
+			note(m1)
+			e.swCode = append(e.swCode, opOr2, opAnd2)
+			e.swDst = append(e.swDst, int32(id), int32(id))
+			e.swA0 = append(e.swA0, int32(id), int32(id))
+			e.swA1 = append(e.swA1, m1, m0)
+			e.swA2 = append(e.swA2, 0, 0)
+			if blkCount > blkBudget {
+				e.swBlock = append(e.swBlock, int32(len(e.swCode)))
+				e.blkEpoch++
+				blkCount = 0
+			}
+		}
+	}
+	if e.swBlock[len(e.swBlock)-1] != int32(len(e.swCode)) {
+		e.swBlock = append(e.swBlock, int32(len(e.swCode)))
 	}
 	for _, di := range e.rDFF {
 		e.noteFrontier(int32(c.n.gates[c.n.dffs[di]].In[0]))
@@ -407,7 +545,10 @@ func (e *EventSim) buildSweep() {
 
 // noteFrontier adds a sweep-program operand to the read frontier unless
 // the sweep computes it (in-cone combinational net), seeds it (in-cone
-// flip-flop Q), or it is a chain temporary.
+// flip-flop Q), or it is a chain temporary. Frontier nets carrying an
+// injection mask — only injected primary-input/constant sites qualify —
+// go on the separate boundMsk list so the per-cycle seed loop stays a
+// plain broadcast for everything else.
 func (e *EventSim) noteFrontier(op int32) {
 	if int(op) >= e.c.numNets {
 		return
@@ -419,6 +560,13 @@ func (e *EventSim) noteFrontier(op int32) {
 		return
 	}
 	e.bEpoch[op] = e.epoch
+	b := int(op) * e.lw
+	for w := 0; w < e.lw; w++ {
+		if e.sa0[b+w]|e.sa1[b+w] != 0 {
+			e.boundMsk = append(e.boundMsk, NetID(op))
+			return
+		}
+	}
 	e.bound = append(e.bound, NetID(op))
 }
 
@@ -435,11 +583,12 @@ func (e *EventSim) markFan(id NetID) {
 }
 
 // operand reconstructs the absolute 64-lane word of one instruction
-// operand at the cycle being settled: good-trace value (from the
-// hoisted row) XOR current divergence for real nets, the chain-local
-// scratch for temporaries. The divergence merge is branchless — the
-// stamp comparison becomes an all-ones/zero mask — because the branch
-// is data-dependent and mispredicts heavily in half-diverged regions.
+// operand at the cycle being settled (single-word path): good-trace
+// value (from the hoisted row) XOR current divergence for real nets,
+// the chain-local scratch for temporaries. The divergence merge is
+// branchless — the stamp comparison becomes an all-ones/zero mask —
+// because the branch is data-dependent and mispredicts heavily in
+// half-diverged regions.
 func (e *EventSim) operand(idx int32) uint64 {
 	if int(idx) >= e.c.numNets {
 		return e.tmpAbs[idx]
@@ -450,9 +599,28 @@ func (e *EventSim) operand(idx int32) uint64 {
 	return v ^ (e.diff[idx] & live)
 }
 
+// operandStripes is operand for lw > 1: it reconstructs the stripe into
+// buf (temporaries are returned in place from tmpAbs). The stamp mask
+// is computed once per operand and applied branchlessly per word.
+func (e *EventSim) operandStripes(idx int32, buf []uint64) []uint64 {
+	lw := e.lw
+	if int(idx) >= e.c.numNets {
+		return e.tmpAbs[int(idx)*lw:][:lw]
+	}
+	v := -(e.row[idx>>6] >> (uint(idx) & 63) & 1)
+	x := e.divStamp[idx] ^ e.cyc
+	live := ((x | -x) >> 63) - 1
+	dv := e.diff[int(idx)*lw:][:lw]
+	buf = buf[:lw]
+	for w := range buf {
+		buf[w] = v ^ (dv[w] & live)
+	}
+	return buf
+}
+
 // evalNet executes net id's instruction chain against reconstructed
-// absolute operands and returns the net's absolute word with its
-// injection masks applied.
+// absolute operands (single-word path) and returns the net's absolute
+// word with its injection masks applied.
 func (e *EventSim) evalNet(id NetID) uint64 {
 	c := e.c
 	code, dst, a0, a1, a2 := c.code, c.dst, c.a0, c.a1, c.a2
@@ -486,37 +654,113 @@ func (e *EventSim) evalNet(id NetID) uint64 {
 	return (v &^ e.sa0[id]) | e.sa1[id]
 }
 
+// evalNetStripes executes net id's chain over lw-word stripes, applies
+// the injection masks, writes the resulting divergence stripe into
+// diff, and returns the OR of its words (zero = converged).
+func (e *EventSim) evalNetStripes(id NetID) uint64 {
+	c, lw := e.c, e.lw
+	code, dst, a0, a1, a2 := c.code, c.dst, c.a0, c.a1, c.a2
+	v := e.vBuf
+	for pc := c.pcStart[id]; pc < c.pcEnd[id]; pc++ {
+		x := e.operandStripes(a0[pc], e.ob0)
+		switch code[pc] {
+		case opBuf:
+			copy(v, x)
+		case opNot:
+			for w := range v {
+				v[w] = ^x[w]
+			}
+		case opAnd2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = x[w] & y[w]
+			}
+		case opOr2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = x[w] | y[w]
+			}
+		case opNand2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = ^(x[w] & y[w])
+			}
+		case opNor2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = ^(x[w] | y[w])
+			}
+		case opXor2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = x[w] ^ y[w]
+			}
+		case opXnor2:
+			y := e.operandStripes(a1[pc], e.ob1)
+			for w := range v {
+				v[w] = ^(x[w] ^ y[w])
+			}
+		case opMux:
+			y := e.operandStripes(a1[pc], e.ob1)
+			z := e.operandStripes(a2[pc], e.ob2)
+			for w := range v {
+				v[w] = (y[w] &^ x[w]) | (z[w] & x[w])
+			}
+		}
+		if d := dst[pc]; int(d) >= c.numNets {
+			copy(e.tmpAbs[int(d)*lw:][:lw], v)
+		}
+	}
+	b := int(id) * lw
+	s0 := e.sa0[b:][:lw]
+	s1 := e.sa1[b:][:lw]
+	dv := e.diff[b:][:lw]
+	good := e.goodWord(id)
+	var any uint64
+	for w := range dv {
+		d := ((v[w] &^ s0[w]) | s1[w]) ^ good
+		dv[w] = d
+		any |= d
+	}
+	return any
+}
+
 // goodWord broadcasts net id's fault-free value from the hoisted row.
 func (e *EventSim) goodWord(id NetID) uint64 {
 	return -(e.row[id>>6] >> (uint(id) & 63) & 1)
 }
 
-// Cycle settles segment-relative cycle rc and returns the OR-ed
-// per-output lane-difference mask against the fault-free machine (bit 0
-// always clear). Primary-input values come from the good trace — the
-// good machine saw the same vectors — so no vector is needed; only the
-// divergence sources (injected sites, diverged flip-flops) and their
-// live fanout are evaluated. When divergence is dense the cycle runs
-// the compacted cone sweep instead (see sweepCycle); the two modes
-// interoperate freely because the only cross-cycle state is qDiff.
-// Call Clock afterwards to advance state.
+// Cycle settles the given absolute cycle and fills det (length
+// LaneWords) with the OR-ed per-output lane-difference stripe against
+// the fault-free machine (bit 0 of every word always clear).
+// Primary-input values come from the good trace — the good machine saw
+// the same vectors — so no vector is needed; only the divergence
+// sources (injected sites, diverged flip-flops) and their live fanout
+// are evaluated. When divergence is dense the cycle runs the compacted
+// cone sweep instead (see sweepCycle); the two modes interoperate
+// freely because the only cross-cycle state is qDiff. Call Clock
+// afterwards to advance state.
 //
 // The logic.eventsim.diff chaos point (internal/chaos) can corrupt the
 // returned mask — one seeded-random lane-bit flip — to model a silently
 // wrong compiled-kernel batch; the engine's shadow cross-check exists
 // to catch exactly this class of failure.
-func (e *EventSim) Cycle(rc int) uint64 {
-	det := e.cycle(rc)
+func (e *EventSim) Cycle(cycle int, det []uint64) {
+	e.cycleInto(cycle, det)
 	if f := chaos.Maybe("logic.eventsim.diff"); f != nil {
-		det = f.CorruptWord(det) &^ 1
+		det[0] = f.CorruptWord(det[0]) &^ 1
 	}
-	return det
 }
 
-func (e *EventSim) cycle(rc int) uint64 {
+func (e *EventSim) cycleInto(cycle int, det []uint64) {
 	c, n := e.c, e.c.n
+	lw := e.lw
+	det = det[:lw]
+	for w := range det {
+		det[w] = 0
+	}
 	e.cyc++
-	e.row = e.trace.bits[rc*e.trace.words : (rc+1)*e.trace.words]
+	e.row = e.trace.row(cycle)
 	if e.pendingShrink {
 		e.shrinkCone()
 	}
@@ -524,10 +768,10 @@ func (e *EventSim) cycle(rc int) uint64 {
 	if e.sweepNext && e.sweepStreak < sweepRetryInterval {
 		e.sweepStreak++
 		e.swept = true
-		det := e.sweepCycle()
-		e.evals += int64(len(e.swCode))
-		e.evalsSaved += int64(len(c.code) - len(e.swCode))
-		return det
+		e.sweepCycle(det)
+		e.evals += int64(len(e.swCode)) * int64(lw)
+		e.evalsSaved += int64(len(c.code)-len(e.swCode)) * int64(lw)
+		return
 	}
 	e.sweepStreak = 0
 	e.swept = false
@@ -541,17 +785,22 @@ func (e *EventSim) cycle(rc int) uint64 {
 			continue // carried by qDiff below
 		}
 		good := e.goodWord(id)
-		d := ((good &^ e.sa0[id]) | e.sa1[id]) ^ good
-		if d != 0 {
-			e.diff[id] = d
+		b := int(id) * lw
+		var any uint64
+		for w := 0; w < lw; w++ {
+			d := ((good &^ e.sa0[b+w]) | e.sa1[b+w]) ^ good
+			e.diff[b+w] = d
+			any |= d
+		}
+		if any != 0 {
 			e.divStamp[id] = e.cyc
 			e.markFan(id)
 		}
 	}
 	for k, di := range e.rDFF {
-		if d := e.qDiff[k]; d != 0 {
+		if e.qAny[k] != 0 {
 			q := n.dffs[di]
-			e.diff[q] = d
+			copy(e.diff[int(q)*lw:][:lw], e.qDiff[k*lw:(k+1)*lw])
 			e.divStamp[q] = e.cyc
 			e.markFan(q)
 		}
@@ -568,21 +817,30 @@ func (e *EventSim) cycle(rc int) uint64 {
 	// propagating.
 	executed := 0
 	bm := e.bm
-	order := n.order
+	sched := c.schedule
 	for wi := 0; wi < len(bm); wi++ {
 		base := int32(wi << 6)
 		for bm[wi] != 0 {
 			b := bits.TrailingZeros64(bm[wi])
 			bm[wi] &^= 1 << uint(b)
-			id := order[base+int32(b)]
-			abs := e.evalNet(id)
+			id := sched[base+int32(b)]
 			executed += int(c.pcEnd[id] - c.pcStart[id])
-			if d := abs ^ e.goodWord(id); d != 0 {
-				e.diff[id] = d
-				e.divStamp[id] = e.cyc
-				e.markFan(id)
+			if lw == 1 {
+				abs := e.evalNet(id)
+				if d := abs ^ e.goodWord(id); d != 0 {
+					e.diff[id] = d
+					e.divStamp[id] = e.cyc
+					e.markFan(id)
+				} else {
+					e.divStamp[id] = 0
+				}
 			} else {
-				e.divStamp[id] = 0
+				if e.evalNetStripes(id) != 0 {
+					e.divStamp[id] = e.cyc
+					e.markFan(id)
+				} else {
+					e.divStamp[id] = 0
+				}
 			}
 		}
 		if executed > e.budget {
@@ -595,113 +853,196 @@ func (e *EventSim) cycle(rc int) uint64 {
 			}
 			e.swept = true
 			e.sweepNext = true
-			det := e.sweepCycle()
+			e.sweepCycle(det)
 			executed += len(e.swCode)
-			e.evals += int64(executed)
-			e.evalsSaved += int64(len(c.code) - executed)
-			return det
+			e.evals += int64(executed) * int64(lw)
+			e.evalsSaved += int64(len(c.code)-executed) * int64(lw)
+			return
 		}
 	}
 	e.sweepNext = false
-	e.evals += int64(executed)
-	e.evalsSaved += int64(len(c.code) - executed)
+	e.evals += int64(executed) * int64(lw)
+	e.evalsSaved += int64(len(c.code)-executed) * int64(lw)
 
-	var det uint64
 	for _, oi := range e.rOut {
 		o := n.outputs[oi]
 		if e.divStamp[o] == e.cyc {
-			det |= e.diff[o]
+			ob := int(o) * lw
+			for w := 0; w < lw; w++ {
+				det[w] |= e.diff[ob+w]
+			}
 		}
 	}
-	return det &^ 1
+	for w := range det {
+		det[w] &^= 1
+	}
 }
 
 // sweepCycle settles the current cycle by evaluating the whole cone
-// over absolute values: seed the read frontier and the in-cone
+// over absolute value stripes: seed the read frontier and the in-cone
 // flip-flop Qs from the good row (plus divergence and injection masks),
-// then run the compacted program linearly — the same cost profile as
-// the full-sweep CompiledSim, but confined to the cone. Dense cycles
-// pay ~4ns per instruction here versus ~20ns on the event path.
-func (e *EventSim) sweepCycle() uint64 {
-	n := e.c.n
+// then run the compacted program tile by tile — the same cost profile
+// as the full-sweep CompiledSim, but confined to the cone and amortized
+// over lw words per instruction dispatch.
+func (e *EventSim) sweepCycle(det []uint64) {
+	n, lw := e.c.n, e.lw
 	vals := e.swVals
-	for _, b := range e.bound {
-		// Masks are zero except on injected sites (covers maskable
-		// frontier sites: primary inputs and constants).
-		vals[b] = (e.goodWord(b) &^ e.sa0[b]) | e.sa1[b]
+	for _, bn := range e.bound {
+		good := e.goodWord(bn)
+		b := int(bn) * lw
+		for w := 0; w < lw; w++ {
+			vals[b+w] = good
+		}
+	}
+	for _, bn := range e.boundMsk {
+		// Injected frontier sites (primary inputs, constants).
+		good := e.goodWord(bn)
+		b := int(bn) * lw
+		for w := 0; w < lw; w++ {
+			vals[b+w] = (good &^ e.sa0[b+w]) | e.sa1[b+w]
+		}
 	}
 	for k, di := range e.rDFF {
 		q := n.dffs[di]
-		vals[q] = e.goodWord(q) ^ e.qDiff[k]
+		good := e.goodWord(q)
+		qb := int(q) * lw
+		if e.qAny[k] == 0 {
+			for w := 0; w < lw; w++ {
+				vals[qb+w] = good
+			}
+			continue
+		}
+		for w := 0; w < lw; w++ {
+			vals[qb+w] = good ^ e.qDiff[k*lw+w]
+		}
 	}
-	code, dst, a0, a1, a2 := e.swCode, e.swDst, e.swA0, e.swA1, e.swA2
-	prev := int32(0)
-	for _, mp := range e.swMaskPC {
-		runProgram(code, dst, a0, a1, a2, vals, prev, mp+1)
-		d := dst[mp]
-		vals[d] = (vals[d] &^ e.sa0[d]) | e.sa1[d]
-		prev = mp + 1
+	for bi := 0; bi+1 < len(e.swBlock); bi++ {
+		e.runSweep(e.swBlock[bi], e.swBlock[bi+1])
 	}
-	runProgram(code, dst, a0, a1, a2, vals, prev, int32(len(code)))
-	var det uint64
+	e.blocksRun += int64(len(e.swBlock) - 1)
 	for _, oi := range e.rOut {
 		o := n.outputs[oi]
-		det |= vals[o] ^ e.goodWord(o)
+		good := e.goodWord(o)
+		ob := int(o) * lw
+		for w := 0; w < lw; w++ {
+			det[w] |= vals[ob+w] ^ good
+		}
 	}
-	return det &^ 1
+	for w := 0; w < lw; w++ {
+		det[w] &^= 1
+	}
+}
+
+// runSweep executes sweep-program instructions [ps, pe) on the width
+// the simulator was built with (specialized runners for 1 and 4 words).
+func (e *EventSim) runSweep(ps, pe int32) {
+	if ps >= pe {
+		return
+	}
+	switch e.lw {
+	case 1:
+		runProgram(e.swCode, e.swDst, e.swA0, e.swA1, e.swA2, e.swVals, ps, pe)
+	case 4:
+		runProgramStripes4(e.swCode, e.swDst, e.swA0, e.swA1, e.swA2, e.swVals, ps, pe)
+	case 8:
+		runProgramStripes8(e.swCode, e.swDst, e.swA0, e.swA1, e.swA2, e.swVals, ps, pe)
+	default:
+		runProgramStripes(e.swCode, e.swDst, e.swA0, e.swA1, e.swA2, e.swVals, e.lw, ps, pe)
+	}
 }
 
 // Clock advances every in-cone flip-flop's divergence (applying Q-site
-// injection masks). The good machine's next Q value is its current D
-// value, so the new divergence needs no lookahead. After an event-mode
-// settle a single pass is safe even for direct Q→D chains: reading a Q
-// operand consults diff/divStamp (seeded at the top of Cycle), which
-// this loop never writes. After a sweep-mode settle the D values come
-// from swVals, which the clock does not modify either. Out-of-cone
-// flip-flops cannot diverge and are left to the trace.
-func (e *EventSim) Clock(rc int) {
-	n := e.c.n
+// injection masks) for the cycle just settled by Cycle. The good
+// machine's next Q value is its current D value, so the new divergence
+// needs no lookahead. After an event-mode settle a single pass is safe
+// even for direct Q→D chains: reading a Q operand consults
+// diff/divStamp (seeded at the top of Cycle), which this loop never
+// writes. After a sweep-mode settle the D values come from swVals,
+// which the clock does not modify either. Out-of-cone flip-flops cannot
+// diverge and are left to the trace.
+func (e *EventSim) Clock() {
+	n, lw := e.c.n, e.lw
 	if e.swept {
 		for k, di := range e.rDFF {
 			q := n.dffs[di]
 			d := n.gates[q].In[0]
 			goodD := e.goodWord(d)
-			e.qDiff[k] = (((e.swVals[d] &^ e.sa0[q]) | e.sa1[q]) ^ goodD) &^ 1
+			db, qb := int(d)*lw, int(q)*lw
+			var anyD uint64
+			for w := 0; w < lw; w++ {
+				nd := (((e.swVals[db+w] &^ e.sa0[qb+w]) | e.sa1[qb+w]) ^ goodD) &^ 1
+				e.qDiff[k*lw+w] = nd
+				anyD |= nd
+			}
+			e.qAny[k] = anyD
 		}
 		return
 	}
 	for k, di := range e.rDFF {
 		q := n.dffs[di]
 		d := n.gates[q].In[0]
-		if e.qDiff[k] == 0 && e.divStamp[d] != e.cyc && e.sa0[q]|e.sa1[q] == 0 {
+		if e.divStamp[d] != e.cyc && e.qAny[k]|e.qMask[k] == 0 {
 			continue // quiescent flip-flop stays at the good value
 		}
+		diverged := e.divStamp[d] == e.cyc
 		goodD := e.goodWord(d)
-		absD := goodD
-		if e.divStamp[d] == e.cyc {
-			absD ^= e.diff[d]
+		db, qb := int(d)*lw, int(q)*lw
+		var anyD uint64
+		for w := 0; w < lw; w++ {
+			absD := goodD
+			if diverged {
+				absD ^= e.diff[db+w]
+			}
+			nd := (((absD &^ e.sa0[qb+w]) | e.sa1[qb+w]) ^ goodD) &^ 1
+			e.qDiff[k*lw+w] = nd
+			anyD |= nd
 		}
-		e.qDiff[k] = (((absD &^ e.sa0[q]) | e.sa1[q]) ^ goodD) &^ 1
+		e.qAny[k] = anyD
 	}
 }
 
-// RetireLane removes lane's fault from the batch: its injection mask
-// bit and any state divergence it accumulated are cleared, so its
-// divergence stops being simulated from the next cycle on. The fault
-// simulator calls this once a fault reaches its detection quota —
-// unlike the full-sweep kernels, whose cost is fixed per batch, the
-// event kernel's cost shrinks with every retired fault. Surviving lanes
-// are unaffected (lanes never interact).
-func (e *EventSim) RetireLane(lane uint) {
-	site := e.laneSite[lane-1]
+// RetireLane removes the fault in the given stripe word and lane from
+// the batch: its injection mask bit and any state divergence it
+// accumulated are cleared, so its divergence stops being simulated from
+// the next cycle on. The fault simulator calls this once a fault
+// reaches its detection quota — unlike the full-sweep kernels, whose
+// cost is fixed per batch, the event kernel's cost shrinks with every
+// retired fault. Surviving lanes are unaffected (lanes never interact).
+func (e *EventSim) RetireLane(word int, lane uint) {
+	lw := e.lw
+	site := e.laneSite[word*63+int(lane)-1]
 	bit := uint64(1) << lane
-	e.sa0[site] &^= bit
-	e.sa1[site] &^= bit
-	for k := range e.qDiff {
-		e.qDiff[k] &^= bit
+	b := int(site)*lw + word
+	e.sa0[b] &^= bit
+	e.sa1[b] &^= bit
+	if e.maskSlotEpoch[site] == e.epoch {
+		// Keep the sweep program's fused mask slots in step.
+		ms := int(e.maskSlot[site])
+		e.swVals[ms*lw+word] |= bit      // ^sa0 stripe
+		e.swVals[(ms+1)*lw+word] &^= bit // sa1 stripe
 	}
-	if e.retired&bit == 0 {
-		e.retired |= bit
+	if di := e.c.dffIndex[site]; di >= 0 {
+		for k, d := range e.rDFF {
+			if d == di {
+				var m uint64
+				qb := int(site) * lw
+				for w := 0; w < lw; w++ {
+					m |= e.sa0[qb+w] | e.sa1[qb+w]
+				}
+				e.qMask[k] = m
+				break
+			}
+		}
+	}
+	// qAny is left as a conservative superset — the retired lane's bit
+	// may still be live in other words, and every consumer treats a
+	// stale nonzero as "do the exact stripe work", which the next Clock
+	// uses to refresh it.
+	for k := 0; k < len(e.rDFF); k++ {
+		e.qDiff[k*lw+word] &^= bit
+	}
+	if e.retired[word]&bit == 0 {
+		e.retired[word] |= bit
 		e.liveCount--
 		if e.liveCount <= e.shrinkAt {
 			e.pendingShrink = true
@@ -709,21 +1050,22 @@ func (e *EventSim) RetireLane(lane uint) {
 	}
 }
 
-// shrinkCone rebuilds the cone from the still-live lanes' sites. The
+// shrinkCone rebuilds the cone from the still-live faults' sites. The
 // live cone is a subset of the current one (closure is monotonic in the
 // site set), so every list is rebuilt by filtering — rWork keeps its
 // topological order without re-sorting, and rDFF compacts qDiff in
-// step. Dropped flip-flops are provably quiescent: a live lane's
+// step. Dropped flip-flops are provably quiescent: a live fault's
 // divergence stays inside its own site's closure, and RetireLane
 // cleared the retired lanes' bits.
 func (e *EventSim) shrinkCone() {
 	c, n := e.c, e.c.n
+	lw := e.lw
 	e.pendingShrink = false
 	e.epoch++
 	e.rAll = e.rAll[:0]
 	e.sites = e.sites[:0]
 	for i, s := range e.laneSite {
-		if e.retired>>(uint(i)+1)&1 == 0 && e.rEpoch[s] != e.epoch {
+		if e.retired[i/63]>>(uint(1+i%63))&1 == 0 && e.rEpoch[s] != e.epoch {
 			e.rEpoch[s] = e.epoch
 			e.rAll = append(e.rAll, s)
 			e.sites = append(e.sites, s)
@@ -750,12 +1092,16 @@ func (e *EventSim) shrinkCone() {
 	for k, di := range e.rDFF {
 		if e.rEpoch[n.dffs[di]] == e.epoch {
 			e.rDFF[nd] = di
-			e.qDiff[nd] = e.qDiff[k]
+			copy(e.qDiff[nd*lw:(nd+1)*lw], e.qDiff[k*lw:(k+1)*lw])
+			e.qAny[nd] = e.qAny[k]
+			e.qMask[nd] = e.qMask[k]
 			nd++
 		}
 	}
 	e.rDFF = e.rDFF[:nd]
-	e.qDiff = e.qDiff[:nd]
+	e.qDiff = e.qDiff[:nd*lw]
+	e.qAny = e.qAny[:nd]
+	e.qMask = e.qMask[:nd]
 	no := 0
 	for _, oi := range e.rOut {
 		if e.rEpoch[n.outputs[oi]] == e.epoch {
@@ -775,13 +1121,14 @@ func (e *EventSim) shrinkCone() {
 	e.sweepStreak = sweepRetryInterval
 }
 
-// LaneStateInto writes one lane's packed DFF state to dst: the
+// LaneStateInto writes one fault lane's packed DFF state to dst: the
 // fault-free next state nextGood with the lane's in-cone flip-flop
 // divergence bits flipped (out-of-cone flip-flops never diverge).
-func (e *EventSim) LaneStateInto(lane uint, nextGood, dst []uint64) {
+func (e *EventSim) LaneStateInto(word int, lane uint, nextGood, dst []uint64) {
+	lw := e.lw
 	copy(dst, nextGood)
 	for k, di := range e.rDFF {
-		if e.qDiff[k]>>lane&1 == 1 {
+		if e.qDiff[k*lw+word]>>lane&1 == 1 {
 			dst[di>>6] ^= 1 << (uint(di) & 63)
 		}
 	}
@@ -801,18 +1148,24 @@ func (e *EventSim) ActiveFrac() float64 {
 }
 
 // EndBatch removes the batch's injection masks and returns and resets
-// the evaluation counters: instructions executed, and instructions
-// saved versus a full-frame sweep per cycle (negative only if fallback
-// re-evaluation overshot it).
-func (e *EventSim) EndBatch() (evals, saved int64) {
+// the evaluation counters: word-instruction evaluations executed
+// (instructions × lane words, continuous with the single-word kernel's
+// unit), evaluations saved versus a full-frame sweep per batch cycle
+// (negative only if fallback re-evaluation overshot it), and sweep
+// cache blocks run.
+func (e *EventSim) EndBatch() (evals, saved, blocks int64) {
+	lw := e.lw
 	for _, id := range e.injected {
-		e.sa0[id] = 0
-		e.sa1[id] = 0
+		b := int(id) * lw
+		for w := 0; w < lw; w++ {
+			e.sa0[b+w] = 0
+			e.sa1[b+w] = 0
+		}
 	}
 	e.injected = e.injected[:0]
-	evals, saved = e.evals, e.evalsSaved
-	e.evals, e.evalsSaved = 0, 0
-	return evals, saved
+	evals, saved, blocks = e.evals, e.evalsSaved, e.blocksRun
+	e.evals, e.evalsSaved, e.blocksRun = 0, 0, 0
+	return evals, saved, blocks
 }
 
 // sortByOrderPos sorts nets by their compiled chain position with shell

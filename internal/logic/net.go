@@ -128,6 +128,23 @@ type Netlist struct {
 // NumNets returns the total number of nets (one per gate).
 func (n *Netlist) NumNets() int { return len(n.gates) }
 
+// SizeBytes estimates the netlist's resident size — the gate table
+// with its fan-in lists, the fanout lists, and the fixed-width net
+// slices — for cache budgeting (the engine's design cache evicts by
+// bytes, like the artifact store). Names and region maps are ignored:
+// they are a small fraction and an estimate is all budgeting needs.
+func (n *Netlist) SizeBytes() int64 {
+	s := int64(len(n.gates))*32 + int64(len(n.names))*16
+	for i := range n.gates {
+		s += int64(len(n.gates[i].In)) * 4
+	}
+	for _, fo := range n.fanout {
+		s += 24 + int64(len(fo))*4
+	}
+	s += int64(len(n.inputs)+len(n.outputs)+len(n.dffs)+len(n.order)) * 4
+	return s
+}
+
 // NumGates returns the number of logic gates, excluding primary inputs
 // and constants (DFFs are counted).
 func (n *Netlist) NumGates() int {

@@ -1,75 +1,114 @@
 #!/bin/sh
 # bench_kernel.sh — run the fault-simulation kernel benchmarks and emit
-# BENCH_3.json: ns/op + gate-evals/cycle (+ coverage, vectors/s) for the
-# serial reference kernel (pre-PR-3 WordSim full sweep), the serial
-# compiled event-driven kernel, and the sharded engine on the compiled
-# kernel. The workload is the Table-1-scale campaign in
-# internal/engine/bench_test.go: the full collapsed dspgate fault list
-# (fanout branches inserted) against 8192 LFSR vectors.
+# BENCH_4.json: the serial reference vs compiled kernels, the compiled
+# kernel's bitslice lane-width sweep (fault.SimOptions.LaneWords), and
+# the artifact-cache cold/warm pair. The workload is the Table-1-scale
+# campaign in internal/engine/bench_test.go: the full collapsed dspgate
+# fault list (fanout branches inserted) against 8192 LFSR vectors.
+#
+# Every entry is self-describing: lane words, the compile-time cache
+# block size (logic.BlockSlots), and the artifact-cache state it ran
+# under — "off" (no store consulted), "cold" (fresh store per run, pays
+# compile + good-machine prefill) or "warm" (primed store, zero
+# compiles and zero good-machine cycles).
 #
 # Usage: scripts/bench_kernel.sh [benchtime] [outfile]
 #   benchtime  go test -benchtime value (default 3x)
-#   outfile    output path (default BENCH_3.json at the repo root)
+#   outfile    output path (default BENCH_4.json at the repo root)
 #
-# The acceptance bar (ISSUE 3) is serial_compiled ≥ 3× faster than
-# serial_reference; "speedup" records the measured ratio.
+# The acceptance bar (ISSUE 8) is ≥ 2× vectors/s over BENCH_3's
+# serial_compiled (≥ 8000 vectors/s) at the best entry, with
+# coverage_pct bit-identical across every lane width; "speedup_*"
+# record the measured ratios. BENCH_3.json's serial_compiled is read
+# from the committed file when present.
 set -eu
 
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-3x}"
-OUT="${2:-BENCH_3.json}"
+OUT="${2:-BENCH_4.json}"
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 
-go test -run xxx -bench 'SimulateKernels|SimulateSharded' \
+BLOCK_SLOTS="$(sed -n 's/.*BlockSlots = \([0-9]*\).*/\1/p' internal/logic/compile.go | head -1)"
+BENCH3_VPS="$(sed -n 's/.*"serial_compiled".*"vectors_per_sec": \([0-9]*\).*/\1/p' BENCH_3.json 2>/dev/null | head -1)"
+
+go test -run xxx -bench 'SimulateKernels|SimulateLanes|SimulateArtifacts' \
 	-benchtime "$BENCHTIME" -timeout 60m ./internal/engine | tee "$RAW"
 
-awk -v out="$OUT" -v benchtime="$BENCHTIME" '
+awk -v out="$OUT" -v benchtime="$BENCHTIME" \
+	-v blockslots="${BLOCK_SLOTS:-0}" -v bench3="${BENCH3_VPS:-0}" '
 function record(key) {
 	ns[key] = $3
 	for (i = 4; i < NF; i++) {
 		if ($(i+1) == "coverage%")        cov[key] = $i
 		if ($(i+1) == "gate-evals/cycle") evals[key] = $i
+		if ($(i+1) == "lane-words")       lanes[key] = $i
 		if ($(i+1) == "vectors/s")        vps[key] = $i
 	}
+	keys[nk++] = key
 }
 function entry(key,   s) {
-	s = sprintf("{\"ns_per_op\": %.0f, \"gate_evals_per_cycle\": %.0f, \"coverage_pct\": %.2f, \"vectors_per_sec\": %.0f}",
-		ns[key], evals[key], cov[key], vps[key])
-	return s
+	s = sprintf("{\"lane_words\": %d, \"block_slots\": %d, \"artifact_cache\": \"%s\", \"ns_per_op\": %.0f, \"coverage_pct\": %.2f, \"vectors_per_sec\": %.0f",
+		lanes[key] + 0 > 0 ? lanes[key] : 1, blockslots, state[key], ns[key], cov[key], vps[key])
+	if (key in evals)
+		s = s sprintf(", \"gate_evals_per_cycle\": %.0f", evals[key])
+	return s "}"
 }
-/^BenchmarkSimulateKernels\/reference/ { record("reference") }
-/^BenchmarkSimulateKernels\/compiled/  { record("compiled") }
-/^BenchmarkSimulateSharded\/workers/ {
-	# Keep the best (lowest ns/op) worker count — on a single-core
-	# runner the extra shards only add goroutine overhead.
+/^BenchmarkSimulateKernels\/reference/ { record("reference"); state["reference"] = "off" }
+/^BenchmarkSimulateKernels\/compiled/  { record("compiled");  state["compiled"] = "off" }
+/^BenchmarkSimulateLanes\/w=/ {
 	split($1, parts, "=")
 	split(parts[2], w, "-")
-	if (!("sharded" in ns) || $3 + 0 < ns["sharded"] + 0) {
-		record("sharded"); workers["sharded"] = w[1]
-	}
+	key = "lanes_w" w[1]
+	record(key); state[key] = "off"
+	lanesweep[nl++] = key
 }
+/^BenchmarkSimulateArtifacts\/cold/ { record("art_cold"); state["art_cold"] = "cold" }
+/^BenchmarkSimulateArtifacts\/warm/ { record("art_warm"); state["art_warm"] = "warm" }
 END {
-	if (!("reference" in ns) || !("compiled" in ns)) {
+	if (!("reference" in ns) || !("compiled" in ns) || nl == 0 || !("art_warm" in ns)) {
 		print "bench_kernel.sh: missing benchmark rows" > "/dev/stderr"
 		exit 1
 	}
+	# Coverage must be bit-identical everywhere the compiled kernel ran
+	# (the lane sweep already self-asserts; re-check across suites).
+	for (i = 0; i < nk; i++) {
+		k = keys[i]
+		if (k != "reference" && cov[k] != cov["compiled"]) {
+			printf "bench_kernel.sh: coverage diverges: %s=%.2f vs compiled=%.2f\n",
+				k, cov[k], cov["compiled"] > "/dev/stderr"
+			exit 1
+		}
+	}
+	best = "compiled"
+	for (i = 0; i < nk; i++) {
+		k = keys[i]
+		if (k != "reference" && vps[k] + 0 > vps[best] + 0) best = k
+	}
 	printf "{\n" > out
-	printf "  \"issue\": 3,\n" >> out
-	printf "  \"benchmark\": \"BenchmarkSimulateKernels + BenchmarkSimulateSharded (internal/engine)\",\n" >> out
+	printf "  \"issue\": 8,\n" >> out
+	printf "  \"benchmark\": \"BenchmarkSimulateKernels + BenchmarkSimulateLanes + BenchmarkSimulateArtifacts (internal/engine)\",\n" >> out
 	printf "  \"benchtime\": \"%s\",\n", benchtime >> out
 	printf "  \"workload\": \"dspgate (fanout branches), full collapsed fault list, 8192 LFSR vectors\",\n" >> out
 	printf "  \"kernels\": {\n" >> out
 	printf "    \"serial_reference\": %s,\n", entry("reference") >> out
-	printf "    \"serial_compiled\": %s", entry("compiled") >> out
-	if ("sharded" in ns) {
-		printf ",\n    \"sharded_compiled\": {\"workers\": %d, \"ns_per_op\": %.0f, \"gate_evals_per_cycle\": %.0f, \"coverage_pct\": %.2f, \"vectors_per_sec\": %.0f}\n",
-			workers["sharded"], ns["sharded"], evals["sharded"], cov["sharded"], vps["sharded"] >> out
-	} else {
-		printf "\n" >> out
-	}
+	printf "    \"serial_compiled\": %s\n", entry("compiled") >> out
 	printf "  },\n" >> out
-	printf "  \"speedup_compiled_vs_reference\": %.2f\n", ns["reference"] / ns["compiled"] >> out
+	printf "  \"lane_sweep\": [\n" >> out
+	for (i = 0; i < nl; i++)
+		printf "    %s%s\n", entry(lanesweep[i]), i < nl - 1 ? "," : "" >> out
+	printf "  ],\n" >> out
+	printf "  \"artifact_cache\": {\n" >> out
+	printf "    \"cold\": %s,\n", entry("art_cold") >> out
+	printf "    \"warm\": %s\n", entry("art_warm") >> out
+	printf "  },\n" >> out
+	printf "  \"best\": %s,\n", entry(best) >> out
+	if (bench3 + 0 > 0) {
+		printf "  \"bench3_serial_compiled_vectors_per_sec\": %d,\n", bench3 >> out
+		printf "  \"speedup_best_vs_bench3_serial_compiled\": %.2f,\n", vps[best] / bench3 >> out
+	}
+	printf "  \"speedup_best_vs_serial_compiled\": %.2f,\n", vps[best] / vps["compiled"] >> out
+	printf "  \"speedup_best_vs_serial_reference\": %.2f\n", vps[best] / vps["reference"] >> out
 	printf "}\n" >> out
 }
 ' "$RAW"
