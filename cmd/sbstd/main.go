@@ -62,6 +62,7 @@ func main() {
 	maxPending := flag.Int("max-pending", 64, "bounded pending-job buffer")
 	maxAttempts := flag.Int("max-attempts", 2, "attempts per job before a retryable failure fails it")
 	checkpoint := flag.String("checkpoint", "", "JSON state file for checkpoint/resume")
+	journalPath := flag.String("journal", "", "write-ahead job journal replayed on top of -checkpoint; makes submits and results survive kill -9")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "forced-stop deadline after SIGTERM")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job wall-time bound (0 = none; spec deadline_sec can tighten)")
 	stuckTimeout := flag.Duration("stuck-timeout", 10*time.Minute, "cancel+retry a job publishing no progress for this long (0 = off)")
@@ -96,6 +97,21 @@ func main() {
 		Sink:    rt.Sink(),
 	}
 	exec := engine.NewExecutor(execCfg)
+
+	// The write-ahead journal opens first: its replayed records stack on
+	// top of the checkpoint in Recover, and a torn tail from a previous
+	// kill -9 is truncated here, not treated as fatal.
+	var journal *engine.Journal
+	var journalRecs []engine.JournalRecord
+	if *journalPath != "" {
+		var err error
+		journal, journalRecs, err = engine.OpenJournal(*journalPath)
+		if err != nil {
+			fail(rt, err)
+		}
+		defer journal.Close()
+	}
+
 	var pool *engine.LeasePool
 	var distState func(string) *engine.DistState
 	if *distributed {
@@ -104,6 +120,7 @@ func main() {
 			UnitAttempts: *unitAttempts,
 			Sink:         rt.Sink(),
 			Events:       events,
+			Journal:      journal,
 		})
 		defer pool.Close()
 		exec = engine.NewDistExecutor(execCfg, pool, engine.DistOptions{Units: *units})
@@ -121,9 +138,10 @@ func main() {
 		StuckTimeout: *stuckTimeout,
 		DistState:    distState,
 		Events:       events,
+		Journal:      journal,
 	})
-	if *checkpoint != "" {
-		switch err := q.Restore(*checkpoint); {
+	if *checkpoint != "" || journal != nil {
+		switch err := q.Recover(*checkpoint, journalRecs); {
 		case err == nil:
 			resumed := 0
 			for _, j := range q.Jobs() {
@@ -131,8 +149,17 @@ func main() {
 					resumed++
 				}
 			}
-			fmt.Fprintf(os.Stderr, "sbstd: restored %d jobs (%d resumable) from %s\n",
-				len(q.Jobs()), resumed, *checkpoint)
+			if len(q.Jobs()) > 0 || len(journalRecs) > 0 {
+				src := *checkpoint
+				switch {
+				case src == "":
+					src = *journalPath
+				case *journalPath != "":
+					src += " + " + *journalPath
+				}
+				fmt.Fprintf(os.Stderr, "sbstd: recovered %d jobs (%d resumable, %d journal records) from %s\n",
+					len(q.Jobs()), resumed, len(journalRecs), src)
+			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh campaign; the file appears at the first checkpoint.
 		case errors.Is(err, engine.ErrCheckpointCorrupt):

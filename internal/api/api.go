@@ -65,18 +65,25 @@ const (
 	JobSeqATPG        JobKind = "seq_atpg"
 	JobExperiment     JobKind = "experiment"
 	JobCampaignMatrix JobKind = "campaign_matrix"
+	// JobOnlineBurst runs the STC-style online self-test interval
+	// scheduler: a characterized self-test program partitioned into
+	// resumable intervals with per-interval golden MISR signatures,
+	// executed under a cycle budget with a restart-vs-continue policy,
+	// optionally preceded by a comparator self-check that injects a
+	// known fault and asserts the signature comparator catches it.
+	JobOnlineBurst JobKind = "online_burst"
 )
 
 // JobKinds lists every valid kind, in a fixed order (meta document,
 // diagnostics).
 func JobKinds() []JobKind {
-	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix}
+	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst}
 }
 
 // Valid reports whether k is a known campaign kind.
 func (k JobKind) Valid() bool {
 	switch k {
-	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix:
+	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst:
 		return true
 	}
 	return false
@@ -166,6 +173,8 @@ type JobSpec struct {
 	Vectors VectorSource `json:"vectors,omitempty"`
 	// Matrix configures campaign_matrix jobs.
 	Matrix *MatrixSpec `json:"matrix,omitempty"`
+	// Online configures online_burst jobs; nil selects defaults.
+	Online *OnlineSpec `json:"online,omitempty"`
 	// Workers is the fault-simulation shard count (0 = all cores,
 	// 1 = exact serial path). On a coordinator this bounds each work
 	// unit's local shard count instead.
@@ -190,6 +199,77 @@ type JobSpec struct {
 	// NDJSON traces share the coordinator's ID (cmd/sbst-trace merges
 	// them). Clients may pre-mint their own.
 	TraceID string `json:"trace_id,omitempty"`
+	// SubmitID is an optional client-supplied idempotency key. Two
+	// submissions carrying the same SubmitID enqueue one job: the second
+	// is answered with the first job's snapshot. This is what makes
+	// "retry the submit until it sticks" safe across coordinator
+	// restarts and load-shed 503s.
+	SubmitID string `json:"submit_id,omitempty"`
+}
+
+// OnlineSpec configures an online_burst job: the STC-style interval
+// schedule for in-field periodic self-test.
+type OnlineSpec struct {
+	// Intervals is the number of resumable intervals the self-test
+	// program is partitioned into (the STC interval count; default 8).
+	Intervals int `json:"intervals,omitempty"`
+	// Iterations is the self-test loop expansion count (default 4).
+	Iterations int `json:"iterations,omitempty"`
+	// MISRWidth is the signature register width in bits (default 24).
+	MISRWidth int `json:"misr_width,omitempty"`
+	// TimeoutCycles is the per-interval timeout preload: an interval
+	// that needs more cycles than this is aborted as hung (0 = no
+	// timeout).
+	TimeoutCycles int `json:"timeout_cycles,omitempty"`
+	// Policy picks what happens after a preemption or timeout:
+	// "continue" resumes at the interrupted interval, "restart" goes
+	// back to interval 0 (default "continue").
+	Policy string `json:"policy,omitempty"`
+	// BudgetCycles bounds each scheduling slot: the scheduler runs whole
+	// intervals until the slot budget cannot fit the next one, yields
+	// (preemption), and resumes in the next slot. 0 runs the whole
+	// program in one slot.
+	BudgetCycles int `json:"budget_cycles,omitempty"`
+	// SelfCheck enables the comparator self-check: before the clean
+	// burst, a deliberately faulted run (deterministic, seeded component
+	// and bit selection) must trip the signature comparator. A fault the
+	// comparator misses fails the job.
+	SelfCheck bool `json:"self_check,omitempty"`
+	// FaultSeed seeds the self-check's fault selection (default 1).
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+}
+
+// OnlineIntervalInfo describes one characterized interval.
+type OnlineIntervalInfo struct {
+	Index  int    `json:"index"`
+	Cycles int    `json:"cycles"`
+	Golden string `json:"golden"` // hex MISR signature
+}
+
+// OnlineSelfCheck reports the deliberate-fault comparator check.
+type OnlineSelfCheck struct {
+	// Component and Bit identify the injected stuck-at style fault.
+	Component string `json:"component"`
+	Bit       int    `json:"bit"`
+	// Caught is true when at least one interval signature mismatched
+	// under the injected fault — the comparator works.
+	Caught bool `json:"caught"`
+	// MismatchedIntervals lists the interval indices that flagged it.
+	MismatchedIntervals []int `json:"mismatched_intervals,omitempty"`
+}
+
+// OnlineResult is the online_burst result: the interval schedule's
+// outcome counts plus the optional self-check report.
+type OnlineResult struct {
+	Intervals   int                  `json:"intervals"`
+	Passed      int                  `json:"passed"`
+	Mismatches  int                  `json:"mismatches"`
+	Timeouts    int                  `json:"timeouts"`
+	Preemptions int                  `json:"preemptions"`
+	Slots       int                  `json:"slots"`
+	BurstCycles int                  `json:"burst_cycles"`
+	Schedule    []OnlineIntervalInfo `json:"schedule,omitempty"`
+	SelfCheck   *OnlineSelfCheck     `json:"self_check,omitempty"`
 }
 
 // Validate rejects specs the executor could not run, so the server can
@@ -220,6 +300,34 @@ func (s *JobSpec) Validate() error {
 		for i, v := range s.Matrix.Schemes {
 			if err := validateVectorSource(v, fmt.Sprintf("campaign_matrix scheme %d", i)); err != nil {
 				return err
+			}
+		}
+	case JobOnlineBurst:
+		// The interval scheduler drives the behavioral DSP core with a
+		// self-test program: the stimulus must be a program source
+		// (inline or generated). An empty Vectors defaults to the
+		// generated self-test program.
+		switch s.Vectors.Kind {
+		case "", VecSelfTest:
+		case VecProgram:
+			if err := validateVectorSource(s.Vectors, "online_burst job"); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: online_burst vectors %q (want program or selftest)", ErrUnknownKind, s.Vectors.Kind)
+		}
+		if o := s.Online; o != nil {
+			if o.Intervals < 0 || o.Iterations < 0 || o.MISRWidth < 0 ||
+				o.TimeoutCycles < 0 || o.BudgetCycles < 0 {
+				return fmt.Errorf("api: negative online_burst option")
+			}
+			if o.MISRWidth > 64 {
+				return fmt.Errorf("api: online_burst misr_width %d > 64", o.MISRWidth)
+			}
+			switch o.Policy {
+			case "", "continue", "restart":
+			default:
+				return fmt.Errorf("api: online_burst policy %q (want continue or restart)", o.Policy)
 			}
 		}
 	default:
@@ -298,6 +406,8 @@ type JobResult struct {
 	// designs-major, schemes-minor order. The headline Faults/Detected/
 	// Cycles fields sum over the cells; Coverage is the summed ratio.
 	Matrix []MatrixCell `json:"matrix,omitempty"`
+	// Online holds the interval-schedule outcome for online_burst jobs.
+	Online *OnlineResult `json:"online,omitempty"`
 	// Seconds is the job's wall time.
 	Seconds float64 `json:"seconds,omitempty"`
 }
@@ -355,8 +465,10 @@ type Meta struct {
 	JobKinds    []JobKind    `json:"job_kinds"`
 	VectorKinds []VectorKind `json:"vector_kinds"`
 	// Capabilities names the optional surfaces this instance serves:
-	// "jobs", "metrics" and "designs" always; "leases" when running as
-	// a coordinator; "events" when the SSE job-event stream is wired.
+	// "jobs", "metrics", "designs" and "online" always; "leases" when
+	// running as a coordinator; "events" when the SSE job-event stream
+	// is wired; "journal" when the write-ahead job journal is enabled
+	// (submits survive kill -9).
 	Capabilities []string `json:"capabilities"`
 	// Designs lists the bundled design IDs this instance resolves (the
 	// DSP core and every embedded .bench netlist). Family designs are a

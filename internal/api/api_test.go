@@ -59,6 +59,15 @@ func wireExamples() []struct {
 				},
 			},
 		}},
+		{"JobSpecOnline", JobSpec{
+			Kind:     JobOnlineBurst,
+			SubmitID: "client-a/burst-42",
+			Online: &OnlineSpec{
+				Intervals: 8, Iterations: 4, MISRWidth: 24,
+				TimeoutCycles: 4096, Policy: "continue", BudgetCycles: 512,
+				SelfCheck: true, FaultSeed: 7,
+			},
+		}},
 		{"Job", Job{
 			ID: "job-0001", Spec: spec, State: JobRunning, Attempts: 1,
 			Created: created, Started: &started,
@@ -75,6 +84,21 @@ func wireExamples() []struct {
 		}},
 		{"JobResultSeqATPG", JobResult{
 			Faults: 9320, Coverage: 0.62, TestsFound: 410, Untestable: 120, Aborted: 33,
+		}},
+		{"JobResultOnline", JobResult{
+			Cycles: 2200, Coverage: 1.0,
+			Online: &OnlineResult{
+				Intervals: 8, Passed: 8, Slots: 3, BurstCycles: 2200,
+				Schedule: []OnlineIntervalInfo{
+					{Index: 0, Cycles: 300, Golden: "00beef"},
+					{Index: 1, Cycles: 280, Golden: "00c0de"},
+				},
+				SelfCheck: &OnlineSelfCheck{
+					Component: "multiplier", Bit: 9, Caught: true,
+					MismatchedIntervals: []int{2, 3},
+				},
+			},
+			Seconds: 0.8,
 		}},
 		{"JobResultMatrix", JobResult{
 			Faults: 1200, Detected: 1100, Cycles: 1024, Coverage: 0.9167,
@@ -269,7 +293,7 @@ func TestKindValidation(t *testing.T) {
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
-	if got, want := len(JobKinds()), 5; got != want {
+	if got, want := len(JobKinds()), 6; got != want {
 		t.Fatalf("JobKinds() has %d entries, want %d", got, want)
 	}
 }

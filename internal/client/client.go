@@ -204,10 +204,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) (int,
 			return status, err
 		}
 		ctrRetries.Add(1)
-		delay := c.backoff(attempt + 1)
-		if retryAfter > delay {
-			delay = retryAfter
-		}
+		delay := c.retryDelay(attempt+1, retryAfter)
 		select {
 		case <-ctx.Done():
 			return status, fmt.Errorf("%w (last attempt: %v)", ctx.Err(), lastErr)
@@ -298,6 +295,20 @@ func retryableCall(status int, err error) bool {
 		return true
 	}
 	return false
+}
+
+// retryDelay picks the wait before re-sending attempt N. A server that
+// sent Retry-After (503 load shedding, queue-full, drain) knows its own
+// recovery horizon better than our exponential guess does: its hint is
+// THE delay, not a floor under an ever-growing backoff — retrying a
+// shedding coordinator in 5s as asked beats sitting out a 3s-capped
+// backoff that ignores it, and equally beats stacking the two. Without
+// a hint the usual exponential backoff applies.
+func (c *Client) retryDelay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	return c.backoff(attempt)
 }
 
 // backoff is the queue's retry formula: base doubled per attempt,

@@ -153,3 +153,54 @@ func TestRetryAfterHonored(t *testing.T) {
 		t.Fatalf("second attempt after %v, want the Retry-After second honored", d)
 	}
 }
+
+// TestRetryDelayPrefersServerHint pins the replacement semantics: a
+// Retry-After hint IS the delay — not a floor under the exponential
+// backoff, not an addend on top of it, and not clamped by RetryMax.
+func TestRetryDelayPrefersServerHint(t *testing.T) {
+	c := New("http://coordinator", Options{RetryBase: time.Second, RetryMax: 8 * time.Second})
+	if d := c.retryDelay(3, 50*time.Millisecond); d != 50*time.Millisecond {
+		t.Fatalf("hinted delay %v, want exactly the 50ms Retry-After", d)
+	}
+	if d := c.retryDelay(5, 10*time.Second); d != 10*time.Second {
+		t.Fatalf("hinted delay %v, want the hint even beyond RetryMax", d)
+	}
+	for attempt := 1; attempt <= 4; attempt++ {
+		if d := c.retryDelay(attempt, 0); d <= 0 || d > 8*time.Second {
+			t.Fatalf("unhinted attempt %d: backoff %v out of range", attempt, d)
+		}
+	}
+}
+
+// TestRetryAfterOverridesLongBackoff is the load-shed flow: the client
+// is configured with a long backoff, the coordinator sheds with a
+// 1-second Retry-After, and the retry happens on the server's schedule
+// — seconds before the configured backoff would have fired.
+func TestRetryAfterOverridesLongBackoff(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(api.Errf(api.CodeUnavailable, true, "shedding load"))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(api.Health{Status: "ok"})
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, Options{RetryBase: 30 * time.Second, RetryMax: 30 * time.Second, MaxRetries: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	d := time.Since(start)
+	if d < 900*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("retried after %v, want ~1s (the hint), not the 30s backoff", d)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d calls, want 2", calls.Load())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/api"
 	"repro/internal/chaos"
 	"repro/internal/obs"
 )
@@ -44,6 +45,11 @@ type checkpointFile struct {
 	Version int   `json:"version"`
 	NextID  int   `json:"next_id"`
 	Jobs    []Job `json:"jobs"`
+	// EventSeqs records the last SSE sequence number published per job,
+	// so event numbering stays monotonic across a restart even after the
+	// journal prefix holding those events was truncated. Additive field;
+	// version-3 files without it load fine.
+	EventSeqs map[string]int64 `json:"event_seqs,omitempty"`
 }
 
 // prevPath is the previous-generation checkpoint kept as a salvage
@@ -132,6 +138,12 @@ func (q *Queue) Checkpoint() error {
 	if q.opts.Checkpoint == "" {
 		return nil
 	}
+	// Mark the journal BEFORE snapshotting: every record below the mark
+	// was appended after its mutation landed in q.jobs, so the snapshot
+	// taken next covers it and the prefix can be truncated once the
+	// checkpoint is durable. Records appended after the mark survive
+	// truncation and replay idempotently on top of this checkpoint.
+	mark := q.opts.Journal.Mark()
 	q.mu.Lock()
 	cp := checkpointFile{Version: checkpointVersion, NextID: q.nextID}
 	cp.Jobs = make([]Job, 0, len(q.order))
@@ -149,6 +161,7 @@ func (q *Queue) Checkpoint() error {
 		cp.Jobs = append(cp.Jobs, j)
 	}
 	q.mu.Unlock()
+	cp.EventSeqs = q.opts.Events.Seqs()
 
 	data, err := encodeCheckpoint(&cp)
 	if err != nil {
@@ -194,6 +207,15 @@ func (q *Queue) Checkpoint() error {
 		return fmt.Errorf("engine: rename checkpoint: %w", err)
 	}
 	syncDir(dir)
+	// The checkpoint is durable: the journal prefix it covers is dead
+	// weight. Truncation failure is non-fatal — the prefix just replays
+	// idempotently next startup.
+	if err := q.opts.Journal.Truncate(mark); err != nil {
+		obs.Emit(q.opts.Sink, obs.Event{
+			Type: obs.EventPhase, Name: "queue",
+			Fields: map[string]any{"event": "journal_truncate_error", "error": err.Error()},
+		})
+	}
 	return nil
 }
 
@@ -226,48 +248,80 @@ func syncDir(dir string) {
 // when no generation is loadable does it return an error wrapping
 // ErrCheckpointCorrupt.
 func (q *Queue) Restore(path string) error {
-	cp, mainErr := loadCheckpoint(path)
-	if mainErr != nil {
-		if os.IsNotExist(mainErr) {
-			if _, perr := os.Stat(prevPath(path)); perr != nil {
-				return mainErr // genuinely no checkpoint: not an error to salvage
-			}
-		}
-		prev, prevErr := loadCheckpoint(prevPath(path))
-		if prevErr != nil {
-			if errors.Is(mainErr, ErrCheckpointCorrupt) {
-				return fmt.Errorf("engine: checkpoint %s unrecoverable (%v; previous: %v): %w",
-					path, mainErr, prevErr, ErrCheckpointCorrupt)
-			}
-			return mainErr
-		}
-		cp = prev
-		ctrCheckpointSalvaged.Add(1)
-		obs.Emit(q.opts.Sink, obs.Event{
-			Type: obs.EventPhase,
-			Name: "queue",
-			Fields: map[string]any{
-				"event":  "checkpoint_salvaged",
-				"path":   prevPath(path),
-				"reason": mainErr.Error(),
-			},
-		})
+	cp, err := q.loadSalvage(path)
+	if err != nil {
+		return err
 	}
+	return q.adopt(cp, nil)
+}
 
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.started || len(q.jobs) > 0 {
-		return fmt.Errorf("engine: Restore on a started or non-empty queue")
-	}
-	pending := 0
-	for i := range cp.Jobs {
-		if cp.Jobs[i].State == JobQueued || cp.Jobs[i].State == JobRunning {
-			pending++
+// Recover is Restore plus journal replay: it loads the newest loadable
+// checkpoint generation (a missing checkpoint is fine — first boot, or
+// a crash before the first checkpoint landed) and applies the journal
+// records on top. Replay is idempotent, so a journal whose prefix
+// overlaps the checkpoint (crash between checkpoint write and journal
+// truncation) recovers cleanly. Call before Start with the records
+// returned by OpenJournal.
+func (q *Queue) Recover(path string, recs []JournalRecord) error {
+	var cp *checkpointFile
+	if path != "" {
+		loaded, err := q.loadSalvage(path)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				return err
+			}
+		} else {
+			cp = loaded
 		}
 	}
-	if pending > cap(q.work) {
-		// Grow the pending buffer so every resumable job fits.
-		q.work = make(chan string, pending)
+	return q.adopt(cp, recs)
+}
+
+// loadSalvage loads a checkpoint, falling back to the .prev generation
+// when the live file is corrupt or missing-with-a-prev.
+func (q *Queue) loadSalvage(path string) (*checkpointFile, error) {
+	cp, mainErr := loadCheckpoint(path)
+	if mainErr == nil {
+		return cp, nil
+	}
+	if os.IsNotExist(mainErr) {
+		if _, perr := os.Stat(prevPath(path)); perr != nil {
+			return nil, mainErr // genuinely no checkpoint: not an error to salvage
+		}
+	}
+	prev, prevErr := loadCheckpoint(prevPath(path))
+	if prevErr != nil {
+		if errors.Is(mainErr, ErrCheckpointCorrupt) {
+			return nil, fmt.Errorf("engine: checkpoint %s unrecoverable (%v; previous: %v): %w",
+				path, mainErr, prevErr, ErrCheckpointCorrupt)
+		}
+		return nil, mainErr
+	}
+	ctrCheckpointSalvaged.Add(1)
+	obs.Emit(q.opts.Sink, obs.Event{
+		Type: obs.EventPhase,
+		Name: "queue",
+		Fields: map[string]any{
+			"event":  "checkpoint_salvaged",
+			"path":   prevPath(path),
+			"reason": mainErr.Error(),
+		},
+	})
+	return prev, nil
+}
+
+// adopt installs recovered state into a fresh queue: checkpoint jobs
+// first, then journal records replayed in append order, then every
+// non-terminal job re-enqueued and the SSE broker seeded so
+// Last-Event-ID resume works across the restart.
+func (q *Queue) adopt(cp *checkpointFile, recs []JournalRecord) error {
+	if cp == nil {
+		cp = &checkpointFile{Version: checkpointVersion}
+	}
+	q.mu.Lock()
+	if q.started || len(q.jobs) > 0 {
+		q.mu.Unlock()
+		return fmt.Errorf("engine: Restore on a started or non-empty queue")
 	}
 	q.nextID = cp.NextID
 	for i := range cp.Jobs {
@@ -280,11 +334,155 @@ func (q *Queue) Restore(path string) error {
 		j.Dist = nil
 		q.jobs[j.ID] = &j
 		q.order = append(q.order, j.ID)
+		q.indexSubmitIDLocked(&j)
+	}
+	for i := range recs {
+		q.applyRecordLocked(&recs[i])
+	}
+	pending := 0
+	for _, j := range q.jobs {
 		if j.State == JobQueued {
-			q.work <- j.ID
+			pending++
 		}
 	}
+	if pending > cap(q.work) {
+		// Grow the pending buffer so every resumable job fits.
+		q.work = make(chan string, pending)
+	}
+	for _, id := range q.order {
+		if q.jobs[id].State == JobQueued {
+			q.work <- id
+		}
+	}
+	q.updateGaugesLocked()
+	q.mu.Unlock()
+
+	q.seedEvents(cp.EventSeqs, recs)
 	return nil
+}
+
+// applyRecordLocked replays one journal record onto the queue state.
+// Idempotent by construction: submits skip existing IDs, everything
+// else is an absolute assignment. Caller holds q.mu.
+func (q *Queue) applyRecordLocked(rec *JournalRecord) {
+	if rec.NextID > q.nextID {
+		q.nextID = rec.NextID
+	}
+	switch rec.T {
+	case recSubmit:
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		if _, exists := q.jobs[rec.Job.ID]; exists {
+			return
+		}
+		j := *rec.Job
+		if j.State == JobRunning {
+			j.State = JobQueued
+		}
+		j.Dist = nil
+		q.jobs[j.ID] = &j
+		q.order = append(q.order, j.ID)
+		q.indexSubmitIDLocked(&j)
+	case recState:
+		j, ok := q.jobs[rec.JobID]
+		if !ok || j.State == JobCompleted || j.State == JobFailed {
+			return
+		}
+		j.Attempts = rec.Attempts
+		j.Error = rec.Error
+		switch rec.State {
+		case JobRunning:
+			// The run itself did not survive the crash; what the record
+			// proves is that an attempt started. Re-run from queued.
+			j.State = JobQueued
+			if !rec.At.IsZero() {
+				t := rec.At
+				j.Started = &t
+			}
+		default:
+			j.State = JobQueued
+		}
+	case recProgress:
+		if j, ok := q.jobs[rec.JobID]; ok && rec.Progress != nil {
+			j.Progress = *rec.Progress
+		}
+	case recFinish:
+		j, ok := q.jobs[rec.JobID]
+		if !ok {
+			return
+		}
+		j.State = rec.State
+		j.Result = rec.Result
+		j.Error = rec.Error
+		if rec.Attempts > 0 {
+			j.Attempts = rec.Attempts
+		}
+		if !rec.At.IsZero() {
+			t := rec.At
+			j.Finished = &t
+		}
+	case recLease:
+		// Lease records only feed the SSE ring (seedEvents); the work
+		// units themselves are re-planned when the job re-runs.
+	}
+}
+
+// seedEvents rebuilds the SSE broker's per-job state after recovery:
+// journaled events are re-seeded with their original sequence numbers,
+// then every job's numbering is advanced past both the checkpointed
+// high-water mark and a slack gap covering async records lost in the
+// crash, so no sequence number is ever reused for a different event.
+func (q *Queue) seedEvents(cpSeqs map[string]int64, recs []JournalRecord) {
+	if q.opts.Events == nil {
+		return
+	}
+	last := make(map[string]int64, len(cpSeqs))
+	for id, seq := range cpSeqs {
+		last[id] = seq
+	}
+	for i := range recs {
+		rec := &recs[i]
+		if rec.Seq <= 0 || rec.JobID == "" {
+			continue
+		}
+		ev := api.JobEvent{Seq: rec.Seq, JobID: rec.JobID}
+		q.mu.Lock()
+		if j, ok := q.jobs[rec.JobID]; ok {
+			ev.TraceID = j.Spec.TraceID
+		}
+		q.mu.Unlock()
+		switch rec.T {
+		case recSubmit, recState:
+			ev.Type = api.JobEventState
+			ev.State = rec.State
+			if rec.T == recSubmit {
+				ev.State = JobQueued
+			}
+		case recProgress:
+			ev.Type = api.JobEventProgress
+			ev.State = JobRunning
+			ev.Progress = rec.Progress
+		case recFinish:
+			ev.Type = api.JobEventResult
+			ev.State = rec.State
+			ev.Result = rec.Result
+			ev.Error = rec.Error
+		case recLease:
+			ev.Type = api.JobEventLease
+			ev.State = JobRunning
+			ev.Lease = rec.Lease
+		default:
+			continue
+		}
+		q.opts.Events.Seed(ev)
+		if rec.Seq > last[rec.JobID] {
+			last[rec.JobID] = rec.Seq
+		}
+	}
+	for id, seq := range last {
+		q.opts.Events.Advance(id, seq+journalSeqSlack)
+	}
 }
 
 func loadCheckpoint(path string) (*checkpointFile, error) {

@@ -34,13 +34,14 @@ func NewJobEventBroker() *JobEventBroker {
 }
 
 // Publish assigns the event's per-job sequence number, retains it in
-// the ring, and fans it out. Nil-safe, so publishing layers need no
-// broker-wired check. Slow subscribers are dropped (channel closed),
-// never blocked on — event publication sits on queue and lease-pool
-// code paths that must not stall.
-func (b *JobEventBroker) Publish(ev api.JobEvent) {
+// the ring, and fans it out, returning the assigned sequence (0 on a
+// nil broker). Nil-safe, so publishing layers need no broker-wired
+// check. Slow subscribers are dropped (channel closed), never blocked
+// on — event publication sits on queue and lease-pool code paths that
+// must not stall.
+func (b *JobEventBroker) Publish(ev api.JobEvent) int64 {
 	if b == nil {
-		return
+		return 0
 	}
 	b.mu.Lock()
 	l := b.logs[ev.JobID]
@@ -66,7 +67,73 @@ func (b *JobEventBroker) Publish(ev api.JobEvent) {
 		delete(l.subs, ch)
 		close(ch)
 	}
+	seq := ev.Seq
 	b.mu.Unlock()
+	return seq
+}
+
+// Seed inserts a recovered event preserving its recorded sequence
+// number (journal replay at startup). Events must be seeded in
+// ascending Seq order per job; the ring cap still applies. Live
+// publication after seeding continues from max(seeded)+1.
+func (b *JobEventBroker) Seed(ev api.JobEvent) {
+	if b == nil || ev.Seq <= 0 {
+		return
+	}
+	b.mu.Lock()
+	l := b.logs[ev.JobID]
+	if l == nil {
+		l = &jobEventLog{nextSeq: 1, subs: make(map[chan api.JobEvent]struct{})}
+		b.logs[ev.JobID] = l
+	}
+	if ev.Seq >= l.nextSeq {
+		l.nextSeq = ev.Seq + 1
+		l.events = append(l.events, ev)
+		if len(l.events) > b.ring {
+			l.events = l.events[len(l.events)-b.ring:]
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Advance bumps a job's next sequence number to at least seq+1 without
+// publishing anything. Recovery uses it so sequence numbers stay
+// monotonic across a restart even when the tail of the event history
+// (async journal records lost in the crash, or records dropped by a
+// checkpoint truncation) is gone: subscribers resuming with
+// Last-Event-ID never see a number reused for a different event.
+func (b *JobEventBroker) Advance(jobID string, seq int64) {
+	if b == nil || seq <= 0 {
+		return
+	}
+	b.mu.Lock()
+	l := b.logs[jobID]
+	if l == nil {
+		l = &jobEventLog{nextSeq: 1, subs: make(map[chan api.JobEvent]struct{})}
+		b.logs[jobID] = l
+	}
+	if seq+1 > l.nextSeq {
+		l.nextSeq = seq + 1
+	}
+	b.mu.Unlock()
+}
+
+// Seqs returns the last assigned sequence number per job (0 entries
+// omitted). Checkpointing persists this so SSE numbering survives
+// journal truncation.
+func (b *JobEventBroker) Seqs() map[string]int64 {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.logs))
+	for id, l := range b.logs {
+		if l.nextSeq > 1 {
+			out[id] = l.nextSeq - 1
+		}
+	}
+	return out
 }
 
 // Subscribe returns the retained events with Seq > after, a live

@@ -98,6 +98,8 @@ func NewExecutor(cfg ExecConfig) Executor {
 			return runSeqATPG(ctx, cfg, d, spec, update)
 		case JobExperiment:
 			return runExperiment(ctx, cfg, d, spec, update)
+		case JobOnlineBurst:
+			return runOnlineBurst(ctx, d, spec, update)
 		default:
 			return nil, fmt.Errorf("engine: unknown job kind %q", spec.Kind)
 		}

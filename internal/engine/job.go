@@ -21,6 +21,7 @@ const (
 	JobSeqATPG        = api.JobSeqATPG
 	JobExperiment     = api.JobExperiment
 	JobCampaignMatrix = api.JobCampaignMatrix
+	JobOnlineBurst    = api.JobOnlineBurst
 )
 
 // VectorSource describes where a job's stimulus stream comes from; its

@@ -70,6 +70,10 @@ type PoolOptions struct {
 	// Events, when set, receives lease-typed JobEvents for the SSE
 	// stream. Share one broker with the queue and server.
 	Events *JobEventBroker
+	// Journal, when set, mirrors lease events into the write-ahead
+	// journal so SSE streams replay grant/complete history across a
+	// coordinator restart. Share the queue's journal.
+	Journal *Journal
 
 	// now overrides the clock in tests.
 	now func() time.Time
@@ -304,9 +308,17 @@ func (p *LeasePool) updateUnitGaugesLocked() {
 // (no-op without one). Callers may hold p.mu: the broker's lock is a
 // leaf in the lock order.
 func (p *LeasePool) publishLease(j *distJob, ev api.LeaseEvent) {
-	p.opts.Events.Publish(api.JobEvent{
+	seq := p.opts.Events.Publish(api.JobEvent{
 		Type: api.JobEventLease, JobID: j.id, TraceID: j.trace, Lease: &ev,
 	})
+	if p.opts.Journal != nil {
+		// Async: lease history feeds SSE replay, not queue state — the
+		// units themselves are re-planned when a recovered job re-runs.
+		lc := ev
+		_ = p.opts.Journal.Append(JournalRecord{
+			T: recLease, JobID: j.id, Seq: seq, State: JobRunning, Lease: &lc,
+		}, false)
+	}
 }
 
 // Release withdraws a job from the pool (executor cancelled, job done).

@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+func onlineSpec(mod func(*api.OnlineSpec)) JobSpec {
+	o := &api.OnlineSpec{Intervals: 4, Iterations: 3, MISRWidth: 24}
+	if mod != nil {
+		mod(o)
+	}
+	return JobSpec{Kind: JobOnlineBurst, Online: o}
+}
+
+// TestOnlineBurstJob: the executor characterizes a schedule, proves the
+// comparator with a planted fault, and runs a clean core through every
+// interval — the acceptance shape of the online_burst job kind.
+func TestOnlineBurstJob(t *testing.T) {
+	exec := NewExecutor(ExecConfig{})
+	var last Progress
+	res, err := exec(context.Background(), onlineSpec(func(o *api.OnlineSpec) {
+		o.SelfCheck = true
+		o.FaultSeed = 3
+	}), func(p Progress) { last = p })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Online == nil {
+		t.Fatal("no online result")
+	}
+	or := res.Online
+	if or.Intervals != 4 || or.Passed != 4 || or.Mismatches != 0 || or.Timeouts != 0 {
+		t.Fatalf("online result %+v", or)
+	}
+	if len(or.Schedule) != 4 {
+		t.Fatalf("schedule has %d intervals", len(or.Schedule))
+	}
+	for _, iv := range or.Schedule {
+		if iv.Cycles <= 0 || iv.Golden == "" {
+			t.Fatalf("schedule entry %+v", iv)
+		}
+	}
+	if or.SelfCheck == nil || !or.SelfCheck.Caught || len(or.SelfCheck.MismatchedIntervals) == 0 {
+		t.Fatalf("self-check %+v, want the planted fault caught", or.SelfCheck)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("coverage %v, want 1 (all intervals passed)", res.Coverage)
+	}
+	if last.Done != 4 || last.Total != 4 {
+		t.Fatalf("final progress %+v", last)
+	}
+}
+
+// TestOnlineBurstBudgetedSlotsMatchUnbudgeted: slicing the schedule
+// into budget-bounded slots changes the slot count, never the
+// signatures — the characterized goldens and pass counts are identical.
+func TestOnlineBurstBudgetedSlotsMatchUnbudgeted(t *testing.T) {
+	exec := NewExecutor(ExecConfig{})
+	whole, err := exec(context.Background(), onlineSpec(nil), func(Progress) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biggest := 0
+	for _, iv := range whole.Online.Schedule {
+		if iv.Cycles > biggest {
+			biggest = iv.Cycles
+		}
+	}
+	sliced, err := exec(context.Background(), onlineSpec(func(o *api.OnlineSpec) {
+		o.BudgetCycles = biggest
+	}), func(Progress) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Online.Slots < 2 {
+		t.Fatalf("budget %d used %d slots; never actually preempted", biggest, sliced.Online.Slots)
+	}
+	if sliced.Online.Passed != whole.Online.Passed || sliced.Online.Mismatches != 0 {
+		t.Fatalf("sliced run diverged: %+v vs %+v", sliced.Online, whole.Online)
+	}
+	for i := range whole.Online.Schedule {
+		if sliced.Online.Schedule[i].Golden != whole.Online.Schedule[i].Golden {
+			t.Fatalf("interval %d golden drifted across runs", i)
+		}
+	}
+}
+
+// TestOnlineBurstRejections pins the executor's validation errors.
+func TestOnlineBurstRejections(t *testing.T) {
+	exec := NewExecutor(ExecConfig{})
+	cases := map[string]struct {
+		spec JobSpec
+		want string
+	}{
+		"bad policy": {onlineSpec(func(o *api.OnlineSpec) { o.Policy = "bogus" }), "unknown policy"},
+		"budget below an interval": {onlineSpec(func(o *api.OnlineSpec) { o.BudgetCycles = 1 }),
+			"cannot fit interval"},
+		"restart never completes": {onlineSpec(func(o *api.OnlineSpec) {
+			o.Policy = "restart"
+			o.BudgetCycles = 1 << 20
+		}), ""}, // big budget is fine — flipped below
+		"gate-level design": {func() JobSpec {
+			s := onlineSpec(nil)
+			s.Design = "bench/s27"
+			return s
+		}(), "no instruction port"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := exec(context.Background(), tc.spec, func(Progress) {})
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %v, want %q", err, tc.want)
+			}
+		})
+	}
+
+	// Restart policy with a budget below the schedule would preempt
+	// forever; the executor must refuse it upfront. Size the budget off
+	// the real schedule: fits the biggest interval, not the whole thing.
+	whole, err := exec(context.Background(), onlineSpec(nil), func(Progress) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	biggest := 0
+	for _, iv := range whole.Online.Schedule {
+		if iv.Cycles > biggest {
+			biggest = iv.Cycles
+		}
+	}
+	_, err = exec(context.Background(), onlineSpec(func(o *api.OnlineSpec) {
+		o.Policy = "restart"
+		o.BudgetCycles = biggest
+	}), func(Progress) {})
+	if err == nil || !strings.Contains(err.Error(), "never completes") {
+		t.Fatalf("restart+small budget: %v, want a never-completes rejection", err)
+	}
+}
+
+// TestOnlineSpecValidation pins the /v1 validation rules for the new
+// kind (the 422 surface).
+func TestOnlineSpecValidation(t *testing.T) {
+	ok := onlineSpec(nil)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid online spec rejected: %v", err)
+	}
+	bare := JobSpec{Kind: JobOnlineBurst}
+	if err := bare.Validate(); err != nil {
+		t.Fatalf("bare online spec rejected: %v", err)
+	}
+	for name, spec := range map[string]JobSpec{
+		"negative intervals": onlineSpec(func(o *api.OnlineSpec) { o.Intervals = -1 }),
+		"huge misr":          onlineSpec(func(o *api.OnlineSpec) { o.MISRWidth = 65 }),
+		"bad policy":         onlineSpec(func(o *api.OnlineSpec) { o.Policy = "maybe" }),
+		"bist stimulus":      {Kind: JobOnlineBurst, Vectors: VectorSource{Kind: "bist", Count: 10}},
+	} {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

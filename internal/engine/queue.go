@@ -109,6 +109,12 @@ type QueueOptions struct {
 	// result frame. Share one broker with the lease pool and server.
 	Events *JobEventBroker
 
+	// Journal, when set, receives a write-ahead record for every state
+	// transition (submits and terminal transitions fsynced inline, the
+	// rest group-committed). Open it with OpenJournal and feed the
+	// replayed records to Recover before Start.
+	Journal *Journal
+
 	// now overrides the clock in tests.
 	now func() time.Time
 	// traceID overrides trace-ID minting in tests (golden determinism);
@@ -140,6 +146,10 @@ type Queue struct {
 	jobs   map[string]*Job
 	order  []string
 	nextID int
+	// submitIDs maps client-supplied idempotency keys to job IDs so a
+	// re-submitted spec (client retry across a coordinator restart) is
+	// served the original job instead of minting a duplicate.
+	submitIDs map[string]string
 
 	running map[string]*runningJob
 	timers  map[string]*time.Timer
@@ -192,6 +202,7 @@ func NewQueue(opts QueueOptions) *Queue {
 	return &Queue{
 		opts:      opts,
 		jobs:      make(map[string]*Job),
+		submitIDs: make(map[string]string),
 		running:   make(map[string]*runningJob),
 		timers:    make(map[string]*time.Timer),
 		rng:       rand.New(rand.NewSource(1)),
@@ -223,7 +234,11 @@ func (q *Queue) Start() {
 
 // Submit validates and enqueues a job, returning a snapshot of the
 // queued entry. It fails fast with ErrDraining after a drain began and
-// ErrQueueFull when the pending buffer is at capacity.
+// ErrQueueFull when the pending buffer is at capacity. A spec carrying
+// a SubmitID the queue has already accepted is served idempotently: the
+// existing job's snapshot comes back instead of a duplicate enqueue —
+// the contract that lets clients retry submits across a coordinator
+// crash without double-running campaigns.
 func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	if err := spec.Validate(); err != nil {
 		return Job{}, err
@@ -232,6 +247,14 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 		return Job{}, err
 	}
 	q.mu.Lock()
+	if spec.SubmitID != "" {
+		if id, ok := q.submitIDs[spec.SubmitID]; ok {
+			snap := snapshotJob(q.jobs[id])
+			q.fillDistLocked(&snap)
+			q.mu.Unlock()
+			return snap, nil
+		}
+	}
 	if q.draining {
 		q.mu.Unlock()
 		return Job{}, ErrDraining
@@ -258,12 +281,47 @@ func (q *Queue) Submit(spec JobSpec) (Job, error) {
 	}
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
+	q.indexSubmitIDLocked(j)
+	nextID := q.nextID
 	snap := snapshotJob(j)
 	q.updateGaugesLocked()
 	q.mu.Unlock()
 	q.emit(snap, "submitted")
-	q.publishState(snap)
+	seq := q.publishState(snap)
+	// Journal the accepted submit durably before acking it to the
+	// client: a kill -9 one instruction after this return must still
+	// know the job exists.
+	jsnap := snap
+	q.journal(JournalRecord{
+		T: recSubmit, JobID: snap.ID, Seq: seq, At: snap.Created,
+		NextID: nextID, Job: &jsnap, State: JobQueued,
+	}, true)
 	return snap, nil
+}
+
+// indexSubmitIDLocked records a job's idempotency key. Caller holds
+// q.mu. First writer wins: a key can only ever map to one job.
+func (q *Queue) indexSubmitIDLocked(j *Job) {
+	if key := j.Spec.SubmitID; key != "" {
+		if _, taken := q.submitIDs[key]; !taken {
+			q.submitIDs[key] = j.ID
+		}
+	}
+}
+
+// journal appends a write-ahead record, counting (not propagating)
+// failures: journal trouble must not fail the queue's hot path, it
+// only narrows the recovery window back to the last checkpoint.
+func (q *Queue) journal(rec JournalRecord, sync bool) {
+	if q.opts.Journal == nil {
+		return
+	}
+	if err := q.opts.Journal.Append(rec, sync); err != nil {
+		obs.Emit(q.opts.Sink, obs.Event{
+			Type: obs.EventPhase, Name: "queue",
+			Fields: map[string]any{"event": "journal_error", "error": err.Error()},
+		})
+	}
 }
 
 // updateGaugesLocked refreshes the queue-depth gauges. Caller holds
@@ -289,16 +347,17 @@ func (q *Queue) updateGaugesLocked() {
 }
 
 // publishState emits a lifecycle JobEvent (terminal states publish a
-// result frame instead, via publishTerminal).
-func (q *Queue) publishState(j Job) {
-	q.opts.Events.Publish(api.JobEvent{
+// result frame instead, via publishTerminal), returning the assigned
+// SSE sequence number for the journal.
+func (q *Queue) publishState(j Job) int64 {
+	return q.opts.Events.Publish(api.JobEvent{
 		Type: api.JobEventState, JobID: j.ID, TraceID: j.Spec.TraceID, State: j.State,
 	})
 }
 
 // publishTerminal emits the stream-closing result frame.
-func (q *Queue) publishTerminal(j Job) {
-	q.opts.Events.Publish(api.JobEvent{
+func (q *Queue) publishTerminal(j Job) int64 {
+	return q.opts.Events.Publish(api.JobEvent{
 		Type: api.JobEventResult, JobID: j.ID, TraceID: j.Spec.TraceID,
 		State: j.State, Result: j.Result, Error: j.Error,
 	})
@@ -484,7 +543,11 @@ func (q *Queue) run(id string) {
 	q.updateGaugesLocked()
 	q.mu.Unlock()
 	q.emit(snap, "started")
-	q.publishState(snap)
+	seq := q.publishState(snap)
+	q.journal(JournalRecord{
+		T: recState, JobID: id, Seq: seq, At: now,
+		State: JobRunning, Attempts: snap.Attempts,
+	}, false)
 
 	trace := snap.Spec.TraceID
 	update := func(p Progress) {
@@ -500,10 +563,16 @@ func (q *Queue) run(id string) {
 		if now-last >= int64(progressEventPeriod) || (p.Total > 0 && p.Done >= p.Total) {
 			if rj.lastEvent.CompareAndSwap(last, now) {
 				pc := p
-				q.opts.Events.Publish(api.JobEvent{
+				seq := q.opts.Events.Publish(api.JobEvent{
 					Type: api.JobEventProgress, JobID: id, TraceID: trace,
 					State: JobRunning, Progress: &pc,
 				})
+				// Progress watermarks ride the next group commit: losing
+				// the tail only loses a cosmetic high-water mark.
+				q.journal(JournalRecord{
+					T: recProgress, JobID: id, Seq: seq,
+					State: JobRunning, Progress: &pc,
+				}, false)
 			}
 		}
 	}
@@ -568,9 +637,19 @@ func (q *Queue) run(id string) {
 	q.mu.Unlock()
 	q.emit(snap, string(snap.State))
 	if snap.State == JobCompleted || snap.State == JobFailed {
-		q.publishTerminal(snap)
+		seq := q.publishTerminal(snap)
+		// Terminal records are fsynced: the result a client is about to
+		// poll must survive any crash from here on.
+		q.journal(JournalRecord{
+			T: recFinish, JobID: id, Seq: seq, At: fin, State: snap.State,
+			Result: snap.Result, Error: snap.Error, Attempts: snap.Attempts,
+		}, true)
 	} else {
-		q.publishState(snap)
+		seq := q.publishState(snap)
+		q.journal(JournalRecord{
+			T: recState, JobID: id, Seq: seq, State: snap.State,
+			Attempts: snap.Attempts, Error: snap.Error,
+		}, false)
 	}
 	if snap.State == JobCompleted || snap.State == JobFailed {
 		if q.opts.Checkpoint != "" {

@@ -265,12 +265,15 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 // meta is the capabilities document: what this server speaks, so
 // clients and workers can verify compatibility before doing work.
 func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
-	caps := []string{"jobs", "checkpoint", "metrics", "designs"}
+	caps := []string{"jobs", "checkpoint", "metrics", "designs", "online"}
 	if s.pool != nil {
 		caps = append(caps, "leases")
 	}
 	if s.opts.Events != nil {
 		caps = append(caps, "events")
+	}
+	if s.q != nil && s.q.opts.Journal != nil {
+		caps = append(caps, "journal")
 	}
 	writeJSON(w, http.StatusOK, api.Meta{
 		Service:      "sbstd",

@@ -244,7 +244,7 @@ func TestServerV1Surface(t *testing.T) {
 		Designs      []string `json:"designs"`
 	}
 	decode(t, resp, &meta)
-	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 5 {
+	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 6 {
 		t.Fatalf("meta %+v", meta)
 	}
 	if !slices.Contains(meta.Capabilities, "designs") {

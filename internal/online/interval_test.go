@@ -1,0 +1,269 @@
+package online
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/isa"
+)
+
+func characterize(t *testing.T, cfg IntervalConfig) *IntervalSet {
+	t.Helper()
+	set, err := CharacterizeIntervals(testProgram(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestCharacterizeIntervalsDeterministic: same program and config give
+// the same schedule — interval count, cycle counts and golden
+// signatures — on every characterization (the coordinator and a
+// restarted coordinator must agree on the goldens).
+func TestCharacterizeIntervalsDeterministic(t *testing.T) {
+	cfg := IntervalConfig{Config: Config{Iterations: 6, MISRWidth: 24}, Intervals: 5}
+	a, b := characterize(t, cfg), characterize(t, cfg)
+	if !reflect.DeepEqual(a.Intervals(), b.Intervals()) {
+		t.Fatalf("characterization not deterministic:\n%+v\nvs\n%+v", a.Intervals(), b.Intervals())
+	}
+	if len(a.Intervals()) != 5 {
+		t.Fatalf("%d intervals, want 5", len(a.Intervals()))
+	}
+	total := 0
+	for _, iv := range a.Intervals() {
+		if iv.Cycles <= drainWords {
+			t.Fatalf("interval %d has only %d cycles", iv.Index, iv.Cycles)
+		}
+		total += iv.Cycles
+	}
+	if total != a.BurstCycles() {
+		t.Fatalf("cycle sum %d != BurstCycles %d", total, a.BurstCycles())
+	}
+}
+
+// TestIntervalsPassOnHealthyCore: the full schedule run in one
+// unlimited slot passes every interval on a fault-free core — and does
+// so from arbitrary functional workload state, because interval 0
+// carries the normalization preamble.
+func TestIntervalsPassOnHealthyCore(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 6}, Intervals: 4})
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 5; trial++ {
+		core := dsp.New()
+		for r := 0; r < isa.NumRegs; r++ {
+			core.SetReg(r, uint8(rng.Uint32()))
+		}
+		core.SetAcc(isa.AccA, rng.Uint32())
+		core.SetAcc(isa.AccB, rng.Uint32())
+		r := NewRunner(set, core)
+		outcomes, err := r.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := r.Status()
+		if !st.Done || st.Failed || st.Passed != 4 || len(outcomes) != 4 {
+			t.Fatalf("trial %d: status %+v outcomes %v", trial, st, outcomes)
+		}
+	}
+}
+
+// TestResumeAcrossSlotsBitIdentical is the resumability core claim: a
+// schedule chopped into many budgeted slots (with functional workload
+// mutating the core between slots) reaches exactly the same signatures
+// as one uninterrupted pass.
+func TestResumeAcrossSlotsBitIdentical(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 8, MISRWidth: 32}, Intervals: 6})
+	biggest := 0
+	for _, iv := range set.Intervals() {
+		if iv.Cycles > biggest {
+			biggest = iv.Cycles
+		}
+	}
+
+	core := dsp.New()
+	r := NewRunner(set, core)
+	rng := rand.New(rand.NewSource(42))
+	for slots := 0; !r.Status().Done; slots++ {
+		if slots > 100 {
+			t.Fatal("schedule never finished")
+		}
+		// A budget that fits exactly one interval (whichever is next).
+		if _, err := r.Run(biggest); err != nil {
+			t.Fatal(err)
+		}
+		// The functional workload runs between slots and trashes state;
+		// the runner must restore its own test context.
+		for i := 0; i < 20; i++ {
+			core.Step(rng.Uint32())
+		}
+	}
+	st := r.Status()
+	if st.Failed || st.Passed != 6 || st.Mismatches != 0 {
+		t.Fatalf("sliced run diverged from characterization: %+v", st)
+	}
+	if st.Slots < 2 {
+		t.Fatalf("only %d slots used; the test never actually resumed", st.Slots)
+	}
+}
+
+// TestRunPreservesFunctionalContext: the workload's architectural state
+// survives a self-test slot untouched (save/restore around the slot).
+func TestRunPreservesFunctionalContext(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 4}, Intervals: 3})
+	core := dsp.New()
+	core.SetReg(3, 0xAB)
+	core.SetAcc(isa.AccA, 0xDEAD)
+	before := core.SaveState()
+	r := NewRunner(set, core)
+	if _, err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.SaveState(); !reflect.DeepEqual(got, before) {
+		t.Fatalf("functional context clobbered: %+v vs %+v", got, before)
+	}
+}
+
+// TestContinuePolicyResumes / TestRestartPolicyStartsOver pin the two
+// STC preemption modes.
+func TestContinuePolicyResumes(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 6}, Intervals: 4, Policy: PolicyContinue})
+	core := dsp.New()
+	r := NewRunner(set, core)
+	first := set.Intervals()[0].Cycles
+	if _, err := r.Run(first); err != nil { // fits interval 0 only
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if st.Next != 1 || st.Preemptions != 1 || st.Completed != 1 {
+		t.Fatalf("after preempted slot: %+v", st)
+	}
+	if _, err := r.Run(0); err != nil { // unlimited: finish the rest
+		t.Fatal(err)
+	}
+	st = r.Status()
+	if !st.Done || st.Failed || st.Passed != 4 || st.Completed != 4 {
+		t.Fatalf("continue policy did not finish cleanly: %+v", st)
+	}
+}
+
+func TestRestartPolicyStartsOver(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 6}, Intervals: 4, Policy: PolicyRestart})
+	core := dsp.New()
+	r := NewRunner(set, core)
+	first := set.Intervals()[0].Cycles
+	if _, err := r.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Status(); st.Next != 0 || st.Preemptions != 1 {
+		t.Fatalf("restart policy kept position: %+v", st)
+	}
+	if _, err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	// Interval 0 ran twice (once before the preemption, once after the
+	// restart); every signature still matched.
+	if !st.Done || st.Failed || st.Completed != 5 || st.Passed != 5 {
+		t.Fatalf("restart policy outcome: %+v", st)
+	}
+}
+
+// TestTimeoutPreload: an interval exceeding the timeout preload is
+// flagged as hung. Characterization refuses to build such a schedule,
+// so the field path is exercised by tightening the preload afterwards —
+// the STC analogue of a watchdog firing on a wedged interval.
+func TestTimeoutPreload(t *testing.T) {
+	if _, err := CharacterizeIntervals(testProgram(),
+		IntervalConfig{Config: Config{Iterations: 8}, Intervals: 2, TimeoutCycles: 3}); err == nil {
+		t.Fatal("characterization accepted intervals larger than the timeout preload")
+	}
+
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 6}, Intervals: 4})
+	set.cfg.TimeoutCycles = set.Intervals()[0].Cycles // interval 0 fits; interval 1+ may too — force it below
+	set.cfg.TimeoutCycles = 1                         // nothing fits: first interval times out immediately
+	core := dsp.New()
+	r := NewRunner(set, core)
+	outcomes, err := r.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if len(outcomes) != 1 || outcomes[0] != IntervalTimeout || !st.Failed || st.Timeouts != 1 || st.FailedInterval != 0 {
+		t.Fatalf("timeout path: outcomes %v status %+v", outcomes, st)
+	}
+}
+
+// TestSelfCheckCatchesInjectedFault is the acceptance e2e at package
+// level: a seeded deliberate fault must mismatch at least one interval
+// signature, while a clean core passes all intervals of the same set.
+func TestSelfCheckCatchesInjectedFault(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 10, MISRWidth: 24}, Intervals: 6})
+	for seed := int64(1); seed <= 8; seed++ {
+		res, err := set.SelfCheck(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Caught {
+			t.Fatalf("seed %d: comparator missed injected %s bit %d fault",
+				seed, res.Component.Name(), res.Bit)
+		}
+		if len(res.MismatchedIntervals) == 0 {
+			t.Fatalf("seed %d: caught with no mismatched intervals", seed)
+		}
+	}
+	// Determinism: same seed, same fault, same mismatching intervals.
+	a, err := set.SelfCheck(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := set.SelfCheck(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("self-check not deterministic: %+v vs %+v", a, b)
+	}
+	// The clean core still passes: the planted fault lived in the probe,
+	// not the golden signatures.
+	r := NewRunner(set, dsp.New())
+	if _, err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Status(); !st.Done || st.Failed {
+		t.Fatalf("clean core fails after self-check: %+v", st)
+	}
+}
+
+// TestRunnerDetectsRealFault: a runner over a genuinely faulty core
+// (same probe mechanism, but through the public schedule path) fails
+// with the mismatching interval named.
+func TestRunnerDetectsRealFault(t *testing.T) {
+	set := characterize(t, IntervalConfig{Config: Config{Iterations: 10, MISRWidth: 24}, Intervals: 6})
+	core := dsp.New()
+	core.SetProbe(stuckBitProbe{comp: dsp.CompMultiplier, bit: 7})
+	r := NewRunner(set, core)
+	if _, err := r.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Status()
+	if !st.Failed || st.Mismatches == 0 || st.FailedInterval < 0 {
+		t.Fatalf("faulty core sailed through: %+v", st)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": PolicyContinue, "continue": PolicyContinue, "restart": PolicyRestart} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if PolicyContinue.String() != "continue" || PolicyRestart.String() != "restart" {
+		t.Fatal("policy strings drifted")
+	}
+}
