@@ -48,6 +48,8 @@ type runContext struct {
 	// records headline numbers under it for the -metrics JSON report.
 	cur     string
 	metrics map[string]map[string]any
+	// gaArtifact is E13's -ga-artifact output path ("" = don't write).
+	gaArtifact string
 }
 
 func (rc *runContext) printf(format string, args ...any) {
@@ -81,6 +83,7 @@ func main() {
 	runSel := flag.String("run", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
 	outPath := flag.String("out", "", "also append output to this file")
 	metricsPath := flag.String("metrics", "", "write consolidated per-experiment metrics JSON to this file")
+	gaArtifact := flag.String("ga-artifact", "", "write E13's self-describing GA-comparison JSON artifact to this file")
 	deadline := flag.Duration("deadline", 0, "overall deadline for the whole run; expiring simulations stop at the next segment boundary and report partial numbers (0 = none)")
 	obsCfg := obs.Flags()
 	chaosCfg := chaos.Flags()
@@ -100,7 +103,7 @@ func main() {
 		defer cancel()
 	}
 	rc := &runContext{quick: *quick, sink: rt.Sink(), workers: obsCfg.Workers, ctx: ctx,
-		metrics: map[string]map[string]any{}}
+		metrics: map[string]map[string]any{}, gaArtifact: *gaArtifact}
 	if *outPath != "" {
 		f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -124,6 +127,7 @@ func main() {
 		{"E10", "Sec 1 [4] — instruction-randomization (IRST) baseline", runE10},
 		{"E11", "Sec 2.3 — LFSR2 register-rotation ablation", runE11},
 		{"E12", "extension — at-speed transition-fault coverage", runE12},
+		{"E13", "extension — evolved program (ga_search) vs Phase 1/2 vs raw BIST", runE13},
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/api"
+	"repro/internal/client"
+)
+
+// runList renders the coordinator's job table — GET /v1/jobs walked
+// page by page through client.ListJobs — optionally narrowed by kind
+// and state.
+func runList(ctx context.Context, c *client.Client, kind, state string, out io.Writer) error {
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tKIND\tSTATE\tCOVERAGE\tERROR")
+	n := 0
+	err := c.ListJobs(ctx, client.ListOptions{
+		Kind:  api.JobKind(kind),
+		State: api.JobState(state),
+	}, func(j api.Job) bool {
+		cov := "-"
+		if j.Result != nil {
+			cov = fmt.Sprintf("%.2f%%", j.Result.Coverage*100)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", j.ID, j.Spec.Kind, j.State, cov, j.Error)
+		n++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(tw, "(%d jobs)\n", n)
+	return tw.Flush()
+}
+
+// runEvolve submits a ga_search job through the typed client helper
+// and hands off to follow mode for live progress and the final result.
+func runEvolve(coordinator, design string, g api.GaSpec) error {
+	c := client.New(coordinator, client.Options{})
+	job, err := c.SubmitGA(context.Background(), design, g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sbstd: submitted %s (ga_search, population %d, generations %d)\n",
+		job.ID, g.Population, g.Generations)
+	return follow(coordinator, job.ID)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/client"
+	"repro/internal/engine"
+)
+
+// TestRunList drives the -list mode against a live /v1 server: the
+// table must walk every page of GET /v1/jobs in submission order and
+// honour the kind filter.
+func TestRunList(t *testing.T) {
+	q := engine.NewQueue(engine.QueueOptions{
+		Workers: 1, MaxPending: 16,
+		Exec: func(ctx context.Context, spec engine.JobSpec, update func(engine.Progress)) (*engine.JobResult, error) {
+			return &engine.JobResult{Faults: 10, Detected: 9, Coverage: 0.9, Cycles: 42}, nil
+		},
+	})
+	q.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = q.Drain(ctx)
+	}()
+	srv := httptest.NewServer(engine.NewServerWith(q, engine.ServerOptions{}))
+	defer srv.Close()
+
+	specs := []api.JobSpec{
+		{Kind: api.JobFaultSim, Vectors: api.VectorSource{Kind: api.VecBIST, Count: 8}},
+		{Kind: api.JobGaSearch, Ga: &api.GaSpec{Population: 4, Generations: 2}},
+		{Kind: api.JobFaultSim, Vectors: api.VectorSource{Kind: api.VecBIST, Count: 8}},
+	}
+	c := client.New(srv.URL, client.Options{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var ids []string
+	for _, s := range specs {
+		job, err := c.SubmitJob(ctx, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+		if _, err := c.WaitResult(ctx, job.ID, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var out strings.Builder
+	if err := runList(ctx, c, "", "", &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, id := range ids {
+		if !strings.Contains(got, id) {
+			t.Fatalf("unfiltered listing missing %s:\n%s", id, got)
+		}
+	}
+	if strings.Index(got, ids[0]) > strings.Index(got, ids[1]) {
+		t.Fatalf("listing out of submission order:\n%s", got)
+	}
+	if !strings.Contains(got, "(3 jobs)") || !strings.Contains(got, "90.00%") {
+		t.Fatalf("listing missing totals or coverage:\n%s", got)
+	}
+
+	out.Reset()
+	if err := runList(ctx, c, "ga_search", "completed", &out); err != nil {
+		t.Fatal(err)
+	}
+	got = out.String()
+	if !strings.Contains(got, ids[1]) || strings.Contains(got, ids[0]) || !strings.Contains(got, "(1 jobs)") {
+		t.Fatalf("kind+state filter leaked:\n%s", got)
+	}
+
+	if err := runList(ctx, c, "bogus", "", &out); err == nil {
+		t.Fatal("bogus kind filter did not error")
+	}
+}

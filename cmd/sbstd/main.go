@@ -1,32 +1,43 @@
 // Command sbstd is the self-test campaign server: a long-running HTTP
 // daemon that queues fault-simulation, n-detect, sequential-ATPG,
-// composite experiment and campaign-matrix jobs and runs them on a
-// worker pool, sharding each fault simulation across cores. Each job's
-// "design" field selects the simulated circuit from the design
-// registry — the gate-level DSP core by default, a generated family
-// member ("fam/w8r4s1l1p2"), or a bundled .bench netlist
-// ("bench/c432"); GET /v1/meta lists the bundled IDs. A
+// composite experiment, campaign-matrix, online-burst and ga_search
+// jobs and runs them on a worker pool, sharding each fault simulation
+// across cores. Each job's "design" field selects the simulated
+// circuit from the design registry — the gate-level DSP core by
+// default, a generated family member ("fam/w8r4s1l1p2"), or a bundled
+// .bench netlist ("bench/c432"); GET /v1/meta lists the bundled IDs. A
 // campaign_matrix job sweeps N designs × M stimulus schemes and rolls
-// the per-cell coverage into one table.
+// the per-cell coverage into one table; a ga_search job evolves a
+// self-test program skeleton toward maximum fault coverage per cycle.
+// The API is served under /v1 only — the historical unversioned routes
+// answer 404 with a Link header to their successor.
 //
 //	sbstd -addr :8321 -checkpoint campaigns.json
 //
-//	curl -X POST localhost:8321/jobs \
+//	curl -X POST localhost:8321/v1/jobs \
 //	     -d '{"kind":"fault_sim","vectors":{"kind":"bist","count":20000}}'
-//	curl -X POST localhost:8321/jobs \
+//	curl -X POST localhost:8321/v1/jobs \
 //	     -d '{"kind":"fault_sim","design":"bench/c432","vectors":{"kind":"bist","count":4096}}'
-//	curl -X POST localhost:8321/jobs \
+//	curl -X POST localhost:8321/v1/jobs \
 //	     -d '{"kind":"campaign_matrix","matrix":{"designs":["dsp","bench/s27"],"schemes":[{"kind":"bist","count":1024}]}}'
-//	curl localhost:8321/jobs/job-0001            # state + progress
-//	curl localhost:8321/jobs/job-0001/result     # coverage numbers
-//	curl localhost:8321/v1/metrics               # Prometheus exposition
-//	curl -N localhost:8321/v1/jobs/job-0001/events   # SSE live progress
+//	curl -X POST localhost:8321/v1/jobs \
+//	     -d '{"kind":"ga_search","ga":{"population":12,"generations":6,"seed":7}}'
+//	curl localhost:8321/v1/jobs/job-0001            # state + progress
+//	curl 'localhost:8321/v1/jobs?kind=ga_search&limit=10'   # filtered page
+//	curl localhost:8321/v1/jobs/job-0001/result     # coverage numbers
+//	curl localhost:8321/v1/metrics                  # Prometheus exposition
+//	curl -N localhost:8321/v1/jobs/job-0001/events  # SSE live progress
 //
-// Follow mode turns the binary into a live client: it consumes the SSE
-// event stream of one job and renders progress at ~1 Hz, printing the
-// final result as JSON on stdout.
+// Client modes turn the binary into a live consumer of a running
+// coordinator: -follow streams one job's SSE events and renders
+// progress at ~1 Hz, printing the final result as JSON on stdout;
+// -list walks GET /v1/jobs (cursor pagination under the hood) with
+// optional -kind/-state filters; -evolve submits a ga_search through
+// the typed client and follows it to the evolved program.
 //
 //	sbstd -follow job-0001 -coordinator http://localhost:8321
+//	sbstd -list -kind ga_search -coordinator http://localhost:8321
+//	sbstd -evolve -ga-population 12 -ga-generations 6 -coordinator http://localhost:8321
 //
 // SIGTERM/SIGINT drains gracefully: submissions get 503, running jobs
 // finish (until -drain-timeout, after which they stop at the next
@@ -73,13 +84,39 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "lease lifetime without a heartbeat (ignored without -distributed)")
 	unitAttempts := flag.Int("unit-attempts", 3, "grants per work unit before the campaign fails (ignored without -distributed)")
 	followJob := flag.String("follow", "", "follow mode: stream this job's SSE events from -coordinator and exit with its result")
-	coordinator := flag.String("coordinator", "http://localhost:8321", "coordinator base URL for -follow")
+	coordinator := flag.String("coordinator", "http://localhost:8321", "coordinator base URL for the client modes (-follow, -list, -evolve)")
+	listMode := flag.Bool("list", false, "list mode: print the coordinator's job table and exit")
+	listKind := flag.String("kind", "", "with -list: only jobs of this kind (e.g. ga_search)")
+	listState := flag.String("state", "", "with -list: only jobs in this state (queued|running|completed|failed)")
+	evolveMode := flag.Bool("evolve", false, "evolve mode: submit a ga_search to -coordinator and follow it")
+	gaDesign := flag.String("design", "", "with -evolve: design ID (default: the DSP core)")
+	gaPopulation := flag.Int("ga-population", 0, "with -evolve: GA population size (0 = server default)")
+	gaGenerations := flag.Int("ga-generations", 0, "with -evolve: GA generations (0 = server default)")
+	gaSeed := flag.Int64("ga-seed", 0, "with -evolve: GA random seed (0 = server default)")
 	obsCfg := obs.Flags()
 	chaosCfg := chaos.Flags()
 	flag.Parse()
 
 	if *followJob != "" {
 		if err := follow(*coordinator, *followJob); err != nil {
+			fail(nil, err)
+		}
+		return
+	}
+	if *listMode {
+		c := client.New(*coordinator, client.Options{})
+		if err := runList(context.Background(), c, *listKind, *listState, os.Stdout); err != nil {
+			fail(nil, err)
+		}
+		return
+	}
+	if *evolveMode {
+		err := runEvolve(*coordinator, *gaDesign, api.GaSpec{
+			Population:  *gaPopulation,
+			Generations: *gaGenerations,
+			Seed:        *gaSeed,
+		})
+		if err != nil {
 			fail(nil, err)
 		}
 		return

@@ -8,8 +8,9 @@
 // on the schema by construction.
 //
 // Routes are served under the Prefix ("/v1"). The legacy unversioned
-// routes from the pre-coordinator sbstd remain as thin aliases that set
-// a Deprecation header; new clients should speak /v1 only. GET /v1/meta
+// aliases from the pre-coordinator sbstd (deprecated since the /v1
+// rollout) have been removed: they answer 404 with a Link header
+// pointing at the /v1 successor route. GET /v1/meta
 // serves a Meta document describing the running service's version and
 // capabilities, so a worker can refuse to join a coordinator it does
 // not understand.
@@ -50,6 +51,14 @@ var ErrUnknownKind = errors.New("api: unknown kind")
 // unknown_design.
 var ErrUnknownDesign = errors.New("api: unknown design")
 
+// ErrSpecMismatch marks kind-safety violations: a JobSpec carrying a
+// sub-spec (matrix, online, ga) that does not belong to its kind, or
+// missing the one its kind requires. The server maps it to 422 with
+// code spec_mismatch. The same Validate call enforces it at submission,
+// journal replay and checkpoint load, so a mismatched spec can never
+// reach an executor by any path.
+var ErrSpecMismatch = errors.New("api: spec does not match job kind")
+
 // JobKind selects the campaign a job runs.
 type JobKind string
 
@@ -72,18 +81,26 @@ const (
 	// optionally preceded by a comparator self-check that injects a
 	// known fault and asserts the signature comparator catches it.
 	JobOnlineBurst JobKind = "online_burst"
+	// JobGaSearch runs a deterministic, seeded genetic search over
+	// self-test program skeletons and LFSR seed/polynomial/reseed
+	// configurations, with fault coverage per test cycle as fitness.
+	// Each individual's fitness evaluation is an ordinary fault-sim
+	// campaign on the evolved phenotype, so on a coordinator every
+	// generation fans out across the worker fleet as lease-pool work
+	// units.
+	JobGaSearch JobKind = "ga_search"
 )
 
 // JobKinds lists every valid kind, in a fixed order (meta document,
 // diagnostics).
 func JobKinds() []JobKind {
-	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst}
+	return []JobKind{JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst, JobGaSearch}
 }
 
 // Valid reports whether k is a known campaign kind.
 func (k JobKind) Valid() bool {
 	switch k {
-	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst:
+	case JobFaultSim, JobNDetect, JobSeqATPG, JobExperiment, JobCampaignMatrix, JobOnlineBurst, JobGaSearch:
 		return true
 	}
 	return false
@@ -132,6 +149,20 @@ type VectorSource struct {
 	// generation; zero selects fast defaults.
 	CTrials   int `json:"c_trials,omitempty"`
 	OGoodRuns int `json:"o_good_runs,omitempty"`
+	// Seed2 seeds the template architecture's LFSR2 (the register-field
+	// XOR mask) for VecProgram/VecSelfTest expansion; zero keeps the
+	// built-in seed.
+	Seed2 int64 `json:"seed2,omitempty"`
+	// Taps overrides LFSR1's feedback polynomial for VecProgram
+	// expansion (a 16-bit tap mask; zero keeps the built-in primitive
+	// polynomial). Evolved ga_search phenotypes carry their polynomial
+	// gene here.
+	Taps uint64 `json:"taps,omitempty"`
+	// ReseedEvery, when > 0, reseeds LFSR1 every that many loop
+	// iterations during VecProgram expansion, cycling through Reseeds —
+	// the hybrid-BIST reseeding schedule.
+	ReseedEvery int      `json:"reseed_every,omitempty"`
+	Reseeds     []uint64 `json:"reseeds,omitempty"`
 }
 
 // MatrixSpec configures a campaign_matrix job: the cross product of
@@ -175,6 +206,8 @@ type JobSpec struct {
 	Matrix *MatrixSpec `json:"matrix,omitempty"`
 	// Online configures online_burst jobs; nil selects defaults.
 	Online *OnlineSpec `json:"online,omitempty"`
+	// Ga configures ga_search jobs; nil selects defaults.
+	Ga *GaSpec `json:"ga,omitempty"`
 	// Workers is the fault-simulation shard count (0 = all cores,
 	// 1 = exact serial path). On a coordinator this bounds each work
 	// unit's local shard count instead.
@@ -272,11 +305,104 @@ type OnlineResult struct {
 	SelfCheck   *OnlineSelfCheck     `json:"self_check,omitempty"`
 }
 
+// GaSpec configures a ga_search job: a deterministic, seeded genetic
+// search over self-test program skeletons (instruction-slot choices
+// over the generator vocabulary) plus LFSR seed, feedback polynomial
+// and reseed schedule, with fault coverage per test cycle as fitness.
+// The same seed always reproduces the same search, bit for bit, for
+// any worker count and across coordinator restarts.
+type GaSpec struct {
+	// Population is the individuals per generation (default 12, cap 256).
+	Population int `json:"population,omitempty"`
+	// Generations is the number of generations bred (default 6, cap 512).
+	Generations int `json:"generations,omitempty"`
+	// Seed seeds the search's PRNG; every random draw — initial
+	// population, selection, crossover, mutation — derives from it
+	// (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Slots is the evolved instruction-slot count per genome
+	// (default 12, cap 64).
+	Slots int `json:"slots,omitempty"`
+	// Iterations is the template-loop expansion count per fitness
+	// evaluation (default 150).
+	Iterations int `json:"iterations,omitempty"`
+	// Elite is the number of top individuals copied unchanged into the
+	// next generation (default 2).
+	Elite int `json:"elite,omitempty"`
+	// Tournament is the selection tournament size (default 3).
+	Tournament int `json:"tournament,omitempty"`
+	// MutationPct is the per-gene mutation probability in percent
+	// (default 15).
+	MutationPct int `json:"mutation_pct,omitempty"`
+}
+
+// GaGeneration is one completed generation's fitness summary.
+type GaGeneration struct {
+	Gen          int     `json:"gen"`
+	BestFitness  float64 `json:"best_fitness"`
+	MeanFitness  float64 `json:"mean_fitness"`
+	BestCoverage float64 `json:"best_coverage"`
+	BestCycles   int     `json:"best_cycles"`
+}
+
+// GaResult is the ga_search result: the fitness trajectory, the winning
+// genome and its phenotype, and the evaluation economics.
+type GaResult struct {
+	Population int `json:"population"`
+	// Generations is the per-generation trajectory, one entry per
+	// generation in order.
+	Generations []GaGeneration `json:"generations"`
+	// BestGenome is the winning genome's canonical text encoding
+	// (slots + LFSR seed/polynomial/reseed genes).
+	BestGenome string `json:"best_genome"`
+	// Best is the winning phenotype as a ready-to-submit stimulus
+	// source: POST it back as a fault_sim job to reproduce the reported
+	// coverage exactly.
+	Best         VectorSource `json:"best"`
+	BestFitness  float64      `json:"best_fitness"`
+	BestCoverage float64      `json:"best_coverage"`
+	BestCycles   int          `json:"best_cycles"`
+	// Evaluations counts the fault simulations actually run; CacheHits
+	// counts individuals whose phenotype repeated an already-evaluated
+	// one and cost nothing.
+	Evaluations int `json:"evaluations"`
+	CacheHits   int `json:"cache_hits,omitempty"`
+	// ResumedFrom is the number of generations fast-forwarded from the
+	// journal after a coordinator restart (0 for an uninterrupted run).
+	ResumedFrom int `json:"resumed_from,omitempty"`
+}
+
 // Validate rejects specs the executor could not run, so the server can
 // fail submission instead of failing the job later. Unrecognized
-// JobKind or VectorKind values wrap ErrUnknownKind (HTTP 422); every
-// other violation is a plain validation error (HTTP 400).
+// JobKind or VectorKind values wrap ErrUnknownKind (HTTP 422);
+// kind-safety violations — a sub-spec on a kind it does not belong to —
+// wrap ErrSpecMismatch (HTTP 422); every other violation is a plain
+// validation error (HTTP 400).
+//
+// This is the one shared validator: the server calls it at submission,
+// and the engine calls it again when replaying journaled submits and
+// when adopting checkpointed jobs, so no path smuggles a mismatched
+// spec past it.
 func (s *JobSpec) Validate() error {
+	if !s.Kind.Valid() {
+		return fmt.Errorf("%w: job kind %q (want one of %v)", ErrUnknownKind, s.Kind, JobKinds())
+	}
+	// Kind-safety: each sub-spec belongs to exactly one kind; carrying
+	// it on any other kind is a mismatch, not dead weight to ignore.
+	for _, sub := range []struct {
+		name string
+		set  bool
+		kind JobKind
+	}{
+		{"matrix", s.Matrix != nil, JobCampaignMatrix},
+		{"online", s.Online != nil, JobOnlineBurst},
+		{"ga", s.Ga != nil, JobGaSearch},
+	} {
+		if sub.set && s.Kind != sub.kind {
+			return fmt.Errorf("%w: %s job carries the %q sub-spec (only %s jobs may)",
+				ErrSpecMismatch, s.Kind, sub.name, sub.kind)
+		}
+	}
 	switch s.Kind {
 	case JobFaultSim, JobNDetect, JobExperiment:
 		if err := validateVectorSource(s.Vectors, string(s.Kind)+" job"); err != nil {
@@ -330,13 +456,46 @@ func (s *JobSpec) Validate() error {
 				return fmt.Errorf("api: online_burst policy %q (want continue or restart)", o.Policy)
 			}
 		}
-	default:
-		return fmt.Errorf("%w: job kind %q (want one of %v)", ErrUnknownKind, s.Kind, JobKinds())
+	case JobGaSearch:
+		// The GA evolves its own stimulus; a vectors block has nothing
+		// to configure and would silently be ignored — reject it.
+		if !s.Vectors.isZero() {
+			return fmt.Errorf("%w: ga_search evolves its own stimulus; vectors must be empty", ErrSpecMismatch)
+		}
+		if g := s.Ga; g != nil {
+			if g.Population < 0 || g.Generations < 0 || g.Slots < 0 || g.Iterations < 0 ||
+				g.Elite < 0 || g.Tournament < 0 || g.MutationPct < 0 {
+				return fmt.Errorf("api: negative ga_search option")
+			}
+			if g.Population > 256 {
+				return fmt.Errorf("api: ga_search population %d > 256", g.Population)
+			}
+			if g.Generations > 512 {
+				return fmt.Errorf("api: ga_search generations %d > 512", g.Generations)
+			}
+			if g.Slots > 64 {
+				return fmt.Errorf("api: ga_search slots %d > 64", g.Slots)
+			}
+			if g.MutationPct > 100 {
+				return fmt.Errorf("api: ga_search mutation_pct %d > 100", g.MutationPct)
+			}
+			if g.Population > 0 && g.Elite > g.Population {
+				return fmt.Errorf("api: ga_search elite %d > population %d", g.Elite, g.Population)
+			}
+		}
 	}
 	if s.Workers < 0 || s.NDetect < 0 || s.SegmentLen < 0 || s.DeadlineSec < 0 {
 		return fmt.Errorf("api: negative option")
 	}
 	return nil
+}
+
+// isZero reports whether the source is entirely unset (VectorSource
+// holds a slice, so it cannot be compared against a zero literal).
+func (v VectorSource) isZero() bool {
+	return v.Kind == "" && v.Count == 0 && v.Seed == 0 && v.Program == "" &&
+		v.Iterations == 0 && v.CTrials == 0 && v.OGoodRuns == 0 &&
+		v.Seed2 == 0 && v.Taps == 0 && v.ReseedEvery == 0 && len(v.Reseeds) == 0
 }
 
 // validateVectorSource checks one stimulus source; what names it in
@@ -358,6 +517,18 @@ func validateVectorSource(v VectorSource, what string) error {
 		// Generated program; all fields optional.
 	default:
 		return fmt.Errorf("%w: vector source %q (want one of %v)", ErrUnknownKind, v.Kind, VectorKinds())
+	}
+	if v.Taps>>16 != 0 {
+		return fmt.Errorf("api: %s taps %#x exceeds the 16-bit LFSR1 mask", what, v.Taps)
+	}
+	if v.ReseedEvery < 0 {
+		return fmt.Errorf("api: %s negative reseed_every", what)
+	}
+	if v.ReseedEvery > 0 && len(v.Reseeds) == 0 {
+		return fmt.Errorf("api: %s reseed_every without reseeds", what)
+	}
+	if v.ReseedEvery == 0 && len(v.Reseeds) > 0 {
+		return fmt.Errorf("api: %s reseeds without reseed_every", what)
 	}
 	return nil
 }
@@ -408,6 +579,10 @@ type JobResult struct {
 	Matrix []MatrixCell `json:"matrix,omitempty"`
 	// Online holds the interval-schedule outcome for online_burst jobs.
 	Online *OnlineResult `json:"online,omitempty"`
+	// Ga holds the search trajectory and winner for ga_search jobs; the
+	// headline Faults/Detected/Cycles/Coverage fields report the winning
+	// individual's campaign.
+	Ga *GaResult `json:"ga,omitempty"`
 	// Seconds is the job's wall time.
 	Seconds float64 `json:"seconds,omitempty"`
 }
@@ -442,9 +617,16 @@ type Job struct {
 	Dist *DistState `json:"dist,omitempty"`
 }
 
-// JobList is the GET /v1/jobs response.
+// JobList is the GET /v1/jobs response: one page of jobs in stable
+// submission order. The listing paginates with a cursor: pass
+// ?limit=N&after=<job id> to resume, plus optional ?kind= and ?state=
+// filters.
 type JobList struct {
 	Jobs []Job `json:"jobs"`
+	// NextAfter is the cursor for the next page: the last job ID on
+	// this page, present only when more jobs match beyond it. Pass it
+	// back as ?after= to continue.
+	NextAfter string `json:"next_after,omitempty"`
 }
 
 // Health is the GET /v1/healthz response: liveness plus queue occupancy

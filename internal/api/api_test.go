@@ -68,6 +68,14 @@ func wireExamples() []struct {
 				SelfCheck: true, FaultSeed: 7,
 			},
 		}},
+		{"JobSpecGa", JobSpec{
+			Kind:     JobGaSearch,
+			SubmitID: "client-a/ga-7",
+			Ga: &GaSpec{
+				Population: 16, Generations: 8, Seed: 42, Slots: 12,
+				Iterations: 150, Elite: 2, Tournament: 3, MutationPct: 15,
+			},
+		}},
 		{"Job", Job{
 			ID: "job-0001", Spec: spec, State: JobRunning, Attempts: 1,
 			Created: created, Started: &started,
@@ -100,6 +108,25 @@ func wireExamples() []struct {
 			},
 			Seconds: 0.8,
 		}},
+		{"JobResultGa", JobResult{
+			Faults: 1500, Detected: 1472, Cycles: 5100, Coverage: 0.9813,
+			Ga: &GaResult{
+				Population: 16,
+				Generations: []GaGeneration{
+					{Gen: 0, BestFitness: 0.9520, MeanFitness: 0.8711, BestCoverage: 0.952, BestCycles: 5400},
+					{Gen: 1, BestFitness: 0.9813, MeanFitness: 0.9102, BestCoverage: 0.9813, BestCycles: 5100},
+				},
+				BestGenome: "seed1=0x1a2b seed2=0x3c4 taps=0xd008 reseed=4@0x00ff,0xbeef | MPYA>3 MACB+>5",
+				Best: VectorSource{
+					Kind: VecProgram, Program: "LD RND,R0\nMPYA R0,R1,R3\nOUT R3\n",
+					Seed: 0x1a2b, Seed2: 0x3c4, Iterations: 150,
+					Taps: 0xd008, ReseedEvery: 4, Reseeds: []uint64{0x00ff, 0xbeef},
+				},
+				BestFitness: 0.9813, BestCoverage: 0.9813, BestCycles: 5100,
+				Evaluations: 25, CacheHits: 7, ResumedFrom: 1,
+			},
+			Seconds: 12.5,
+		}},
 		{"JobResultMatrix", JobResult{
 			Faults: 1200, Detected: 1100, Cycles: 1024, Coverage: 0.9167,
 			Matrix: []MatrixCell{
@@ -112,7 +139,7 @@ func wireExamples() []struct {
 			ID: "job-0002", Spec: JobSpec{Kind: JobSeqATPG, Frames: 3, SampleEvery: 40},
 			State: JobFailed, Attempts: 2, Error: "engine: job panic: simulated",
 			Created: created, Started: &started, Finished: &finished,
-		}}}},
+		}}, NextAfter: "job-0002"}},
 		{"Progress", Progress{Done: 100, Total: 200, Detected: 50, Remaining: 10, Coverage: 0.833}},
 		{"Health", Health{
 			Status: "ok",
@@ -293,8 +320,75 @@ func TestKindValidation(t *testing.T) {
 	if err := ok.Validate(); err != nil {
 		t.Fatalf("valid spec rejected: %v", err)
 	}
-	if got, want := len(JobKinds()), 6; got != want {
+	if got, want := len(JobKinds()), 7; got != want {
 		t.Fatalf("JobKinds() has %d entries, want %d", got, want)
+	}
+}
+
+// TestSpecMismatch pins the kind-safety rules: a sub-spec on any kind
+// but its own wraps ErrSpecMismatch (the 422 spec_mismatch path), the
+// matching kind accepts it, and ga_search rejects a vectors block.
+func TestSpecMismatch(t *testing.T) {
+	for name, spec := range map[string]JobSpec{
+		"matrix on fault_sim": {Kind: JobFaultSim,
+			Vectors: VectorSource{Kind: VecBIST, Count: 16},
+			Matrix:  &MatrixSpec{Designs: []string{"dsp"}, Schemes: []VectorSource{{Kind: VecSelfTest}}}},
+		"online on campaign_matrix": {Kind: JobCampaignMatrix,
+			Matrix: &MatrixSpec{Designs: []string{"dsp"}, Schemes: []VectorSource{{Kind: VecSelfTest}}},
+			Online: &OnlineSpec{Intervals: 4}},
+		"ga on online_burst": {Kind: JobOnlineBurst, Ga: &GaSpec{Population: 4}},
+		"ga on seq_atpg":     {Kind: JobSeqATPG, Ga: &GaSpec{}},
+		"vectors on ga_search": {Kind: JobGaSearch,
+			Vectors: VectorSource{Kind: VecBIST, Count: 16}},
+	} {
+		if err := spec.Validate(); !errors.Is(err, ErrSpecMismatch) {
+			t.Errorf("%s: %v, want ErrSpecMismatch", name, err)
+		}
+	}
+	for name, spec := range map[string]JobSpec{
+		"bare ga_search":   {Kind: JobGaSearch},
+		"sized ga_search":  {Kind: JobGaSearch, Ga: &GaSpec{Population: 8, Generations: 3, Seed: 9}},
+		"bare online":      {Kind: JobOnlineBurst},
+		"online with spec": {Kind: JobOnlineBurst, Online: &OnlineSpec{Intervals: 4}},
+	} {
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+	for name, spec := range map[string]JobSpec{
+		"negative population": {Kind: JobGaSearch, Ga: &GaSpec{Population: -1}},
+		"population cap":      {Kind: JobGaSearch, Ga: &GaSpec{Population: 1000}},
+		"elite > population":  {Kind: JobGaSearch, Ga: &GaSpec{Population: 4, Elite: 8}},
+		"mutation > 100":      {Kind: JobGaSearch, Ga: &GaSpec{MutationPct: 101}},
+	} {
+		if err := spec.Validate(); err == nil || errors.Is(err, ErrSpecMismatch) {
+			t.Errorf("%s: %v, want a plain validation error", name, err)
+		}
+	}
+}
+
+// TestVectorSourceLFSRGenes pins the new expansion-gene validation:
+// oversized taps and inconsistent reseed schedules are rejected.
+func TestVectorSourceLFSRGenes(t *testing.T) {
+	base := VectorSource{Kind: VecProgram, Program: "OUT R2"}
+	ok := base
+	ok.Taps = 0xD008
+	ok.ReseedEvery = 4
+	ok.Reseeds = []uint64{0xBEEF}
+	if err := (&JobSpec{Kind: JobFaultSim, Vectors: ok}).Validate(); err != nil {
+		t.Fatalf("valid LFSR genes rejected: %v", err)
+	}
+	for name, mut := range map[string]func(*VectorSource){
+		"taps over 16 bits":      func(v *VectorSource) { v.Taps = 1 << 16 },
+		"reseed without seeds":   func(v *VectorSource) { v.ReseedEvery = 4 },
+		"seeds without reseed":   func(v *VectorSource) { v.Reseeds = []uint64{1} },
+		"negative reseed period": func(v *VectorSource) { v.ReseedEvery = -1; v.Reseeds = []uint64{1} },
+	} {
+		v := base
+		mut(&v)
+		if err := (&JobSpec{Kind: JobFaultSim, Vectors: v}).Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
 	}
 }
 

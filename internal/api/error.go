@@ -12,6 +12,7 @@ const (
 	CodeBadRequest     = "bad_request"      // malformed body or invalid spec (400)
 	CodeUnknownKind    = "unknown_kind"     // unrecognized JobKind/VectorKind (422)
 	CodeUnknownDesign  = "unknown_design"   // design ID the registry cannot resolve (422)
+	CodeSpecMismatch   = "spec_mismatch"    // sub-spec on a kind it does not belong to (422)
 	CodeNotFound       = "not_found"        // unknown job, lease or route (404)
 	CodeUnavailable    = "unavailable"      // draining, queue full, shed load (503)
 	CodeTimeout        = "timeout"          // request handler deadline expired (503)
@@ -59,7 +60,7 @@ func HTTPStatus(code string) int {
 	switch code {
 	case CodeBadRequest:
 		return http.StatusBadRequest
-	case CodeUnknownKind, CodeUnknownDesign, CodeBadResult:
+	case CodeUnknownKind, CodeUnknownDesign, CodeSpecMismatch, CodeBadResult:
 		return http.StatusUnprocessableEntity
 	case CodeNotFound:
 		return http.StatusNotFound

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -118,6 +119,74 @@ func (c *Client) Jobs(ctx context.Context) ([]api.Job, error) {
 		return nil, err
 	}
 	return l.Jobs, nil
+}
+
+// ListOptions filter and page a ListJobs walk.
+type ListOptions struct {
+	// Kind/State, when non-zero, restrict the listing server-side.
+	Kind  api.JobKind
+	State api.JobState
+	// PageSize is the per-request limit (default 50).
+	PageSize int
+}
+
+// ListJobs walks the job listing page by page (GET /v1/jobs with
+// cursor pagination), calling fn for each job in submission order.
+// Return false from fn to stop early. One coordinator round-trip per
+// PageSize jobs.
+func (c *Client) ListJobs(ctx context.Context, opts ListOptions, fn func(api.Job) bool) error {
+	size := opts.PageSize
+	if size <= 0 {
+		size = 50
+	}
+	after := ""
+	for {
+		q := url.Values{}
+		q.Set("limit", strconv.Itoa(size))
+		if after != "" {
+			q.Set("after", after)
+		}
+		if opts.Kind != "" {
+			q.Set("kind", string(opts.Kind))
+		}
+		if opts.State != "" {
+			q.Set("state", string(opts.State))
+		}
+		var l api.JobList
+		if _, err := c.do(ctx, http.MethodGet, "/jobs?"+q.Encode(), nil, &l); err != nil {
+			return err
+		}
+		for _, j := range l.Jobs {
+			if !fn(j) {
+				return nil
+			}
+		}
+		if l.NextAfter == "" {
+			return nil
+		}
+		after = l.NextAfter
+	}
+}
+
+// SubmitFaultSim enqueues a fault-simulation campaign on a design.
+func (c *Client) SubmitFaultSim(ctx context.Context, design string, vectors api.VectorSource) (*api.Job, error) {
+	return c.SubmitJob(ctx, api.JobSpec{Kind: api.JobFaultSim, Design: design, Vectors: vectors})
+}
+
+// SubmitMatrix enqueues a campaign-matrix job (designs × schemes).
+func (c *Client) SubmitMatrix(ctx context.Context, m api.MatrixSpec) (*api.Job, error) {
+	return c.SubmitJob(ctx, api.JobSpec{Kind: api.JobCampaignMatrix, Matrix: &m})
+}
+
+// SubmitOnline enqueues an online_burst job for a design.
+func (c *Client) SubmitOnline(ctx context.Context, design string, vectors api.VectorSource, o api.OnlineSpec) (*api.Job, error) {
+	return c.SubmitJob(ctx, api.JobSpec{Kind: api.JobOnlineBurst, Design: design, Vectors: vectors, Online: &o})
+}
+
+// SubmitGA enqueues a ga_search job: the coordinator evolves a
+// self-test program for the design and reports the best genome.
+func (c *Client) SubmitGA(ctx context.Context, design string, g api.GaSpec) (*api.Job, error) {
+	return c.SubmitJob(ctx, api.JobSpec{Kind: api.JobGaSearch, Design: design, Ga: &g})
 }
 
 // Result fetches a terminal job's result. While the job is still

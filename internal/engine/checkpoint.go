@@ -50,6 +50,13 @@ type checkpointFile struct {
 	// journal prefix holding those events was truncated. Additive field;
 	// version-3 files without it load fine.
 	EventSeqs map[string]int64 `json:"event_seqs,omitempty"`
+	// GaGens carries each non-terminal ga_search job's completed
+	// generation records. Without this the checkpoint-then-truncate
+	// dance would drop a running search's resume data: the journal
+	// prefix holding its recGaGen records is truncated the moment any
+	// other job's terminal checkpoint lands. Additive field; older
+	// files load fine.
+	GaGens map[string][]GaGenRecord `json:"ga_gens,omitempty"`
 }
 
 // prevPath is the previous-generation checkpoint kept as a salvage
@@ -159,6 +166,12 @@ func (q *Queue) Checkpoint() error {
 			}
 		}
 		cp.Jobs = append(cp.Jobs, j)
+	}
+	if len(q.gaGens) > 0 {
+		cp.GaGens = make(map[string][]GaGenRecord, len(q.gaGens))
+		for id, gens := range q.gaGens {
+			cp.GaGens[id] = append([]GaGenRecord(nil), gens...)
+		}
 	}
 	q.mu.Unlock()
 	cp.EventSeqs = q.opts.Events.Seqs()
@@ -326,6 +339,14 @@ func (q *Queue) adopt(cp *checkpointFile, recs []JournalRecord) error {
 	q.nextID = cp.NextID
 	for i := range cp.Jobs {
 		j := cp.Jobs[i]
+		// The same kind-safety validator that gates submission gates
+		// recovery: a checkpoint record whose spec no longer validates
+		// (hand-edited file, or written by a version with laxer rules)
+		// must not resurrect as a runnable job.
+		if err := j.Spec.Validate(); err != nil {
+			q.emitInvalidRecovered("checkpoint", j.ID, err)
+			continue
+		}
 		if j.State == JobRunning {
 			j.State = JobQueued
 		}
@@ -335,6 +356,11 @@ func (q *Queue) adopt(cp *checkpointFile, recs []JournalRecord) error {
 		q.jobs[j.ID] = &j
 		q.order = append(q.order, j.ID)
 		q.indexSubmitIDLocked(&j)
+	}
+	for id, gens := range cp.GaGens {
+		if j, ok := q.jobs[id]; ok && j.State != JobCompleted && j.State != JobFailed {
+			q.gaGens[id] = append([]GaGenRecord(nil), gens...)
+		}
 	}
 	for i := range recs {
 		q.applyRecordLocked(&recs[i])
@@ -377,6 +403,11 @@ func (q *Queue) applyRecordLocked(rec *JournalRecord) {
 			return
 		}
 		j := *rec.Job
+		// Same shared validator as Submit and checkpoint adoption.
+		if err := j.Spec.Validate(); err != nil {
+			q.emitInvalidRecovered("journal", j.ID, err)
+			return
+		}
 		if j.State == JobRunning {
 			j.State = JobQueued
 		}
@@ -407,11 +438,26 @@ func (q *Queue) applyRecordLocked(rec *JournalRecord) {
 		if j, ok := q.jobs[rec.JobID]; ok && rec.Progress != nil {
 			j.Progress = *rec.Progress
 		}
+	case recGaGen:
+		if rec.Ga == nil {
+			return
+		}
+		j, ok := q.jobs[rec.JobID]
+		if !ok || j.State == JobCompleted || j.State == JobFailed {
+			return
+		}
+		// Contiguous-append only: a record already covered by the
+		// checkpoint's GaGens replays as a no-op (idempotence), and a
+		// gap means the history is unusable past this point anyway.
+		if len(q.gaGens[rec.JobID]) == rec.Ga.Gen {
+			q.gaGens[rec.JobID] = append(q.gaGens[rec.JobID], *rec.Ga)
+		}
 	case recFinish:
 		j, ok := q.jobs[rec.JobID]
 		if !ok {
 			return
 		}
+		delete(q.gaGens, rec.JobID)
 		j.State = rec.State
 		j.Result = rec.Result
 		j.Error = rec.Error
@@ -426,6 +472,19 @@ func (q *Queue) applyRecordLocked(rec *JournalRecord) {
 		// Lease records only feed the SSE ring (seedEvents); the work
 		// units themselves are re-planned when the job re-runs.
 	}
+}
+
+// emitInvalidRecovered reports a recovered job record the shared spec
+// validator rejected (dropped rather than resurrected). Caller holds
+// q.mu or runs before Start.
+func (q *Queue) emitInvalidRecovered(source, id string, err error) {
+	obs.Emit(q.opts.Sink, obs.Event{
+		Type: obs.EventPhase, Name: "queue",
+		Fields: map[string]any{
+			"event": "recovered_job_invalid", "source": source,
+			"job": id, "error": err.Error(),
+		},
+	})
 }
 
 // seedEvents rebuilds the SSE broker's per-job state after recovery:

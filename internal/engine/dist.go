@@ -97,6 +97,8 @@ func NewDistExecutor(cfg ExecConfig, pool *LeasePool, opts DistOptions) Executor
 			return runDistExperiment(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
 		case JobCampaignMatrix:
 			return runDistMatrix(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
+		case JobGaSearch:
+			return runDistGaSearch(ctx, pool, cfg, opts, distJobID(ctx), spec, update)
 		default:
 			return local(ctx, spec, update)
 		}
@@ -232,6 +234,23 @@ func runDistMatrix(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts Di
 		cellID := fmt.Sprintf("%s/%s+s%d", jobID, cell.Design, scheme)
 		return runDistFaultSim(ctx, pool, cfg, opts, cellID, cell, update)
 	})
+}
+
+// runDistGaSearch runs the GA on the coordinator and fans each
+// generation's evaluations out to the fleet: every individual is its
+// own lease-pool registration under a derived job ID
+// ("<job>/g<gen>+i<idx>"), evaluated concurrently — a generation's
+// individuals are independent, so the fleet chews the whole cohort at
+// once while the GA itself stays strictly sequential and determinism
+// rests on fitness values, never on evaluation timing.
+func runDistGaSearch(ctx context.Context, pool *LeasePool, cfg ExecConfig, opts DistOptions,
+	jobID string, spec JobSpec, update func(Progress)) (*JobResult, error) {
+
+	d, err := GetDesign(spec.Design)
+	if err != nil {
+		return nil, err
+	}
+	return runGaSearch(ctx, d, spec, update, distGaEvaluator(pool, cfg, opts, jobID))
 }
 
 // RunWorkUnit executes one leased unit: the worker-side half of the

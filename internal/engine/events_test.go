@@ -199,7 +199,7 @@ func TestServerSSELifecycle(t *testing.T) {
 		return &JobResult{Coverage: 0.9, Cycles: 20, Faults: 7, Detected: 6}, nil
 	})
 
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":20}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -244,7 +244,7 @@ func TestServerSSELifecycle(t *testing.T) {
 	}
 
 	var polled JobResult
-	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID + "/result")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestServerSSEFailedJob(t *testing.T) {
 	srv, _, _ := testEventServer(t, func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
 		return nil, fmt.Errorf("boom: synthetic failure")
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":8}}`))
 	if err != nil {
 		t.Fatal(err)

@@ -100,6 +100,8 @@ func NewExecutor(cfg ExecConfig) Executor {
 			return runExperiment(ctx, cfg, d, spec, update)
 		case JobOnlineBurst:
 			return runOnlineBurst(ctx, d, spec, update)
+		case JobGaSearch:
+			return runGaSearch(ctx, d, spec, update, localGaEvaluator(cfg, d))
 		default:
 			return nil, fmt.Errorf("engine: unknown job kind %q", spec.Kind)
 		}
@@ -132,7 +134,10 @@ func resolveVectors(d *designs.Design, src VectorSource) (fault.Vectors, error) 
 			iters = 1000
 		}
 		return selftest.Expand(&selftest.Program{Loop: prog},
-			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
+			selftest.ExpandOptions{
+				Iterations: iters, Seed1: uint64(src.Seed), Seed2: uint64(src.Seed2),
+				Taps1: src.Taps, ReseedEvery: src.ReseedEvery, Reseeds: src.Reseeds,
+			}), nil
 	case api.VecSelfTest:
 		if !d.InstructionDriven() {
 			return nil, fmt.Errorf("engine: design %s has no instruction port; selftest stimulus needs the dsp design", d.ID)
@@ -143,7 +148,10 @@ func resolveVectors(d *designs.Design, src VectorSource) (fault.Vectors, error) 
 			iters = 1000
 		}
 		return selftest.Expand(prog,
-			selftest.ExpandOptions{Iterations: iters, Seed1: uint64(src.Seed)}), nil
+			selftest.ExpandOptions{
+				Iterations: iters, Seed1: uint64(src.Seed), Seed2: uint64(src.Seed2),
+				Taps1: src.Taps, ReseedEvery: src.ReseedEvery, Reseeds: src.Reseeds,
+			}), nil
 	default:
 		return nil, fmt.Errorf("engine: unknown vector source %q", src.Kind)
 	}

@@ -22,6 +22,7 @@ const (
 	JobExperiment     = api.JobExperiment
 	JobCampaignMatrix = api.JobCampaignMatrix
 	JobOnlineBurst    = api.JobOnlineBurst
+	JobGaSearch       = api.JobGaSearch
 )
 
 // VectorSource describes where a job's stimulus stream comes from; its

@@ -45,6 +45,7 @@ const (
 	recProgress = "progress" // throttled progress watermark
 	recFinish   = "finish"   // terminal transition; carries the result
 	recLease    = "lease"    // lease pool grant/complete/expiry (SSE ring only)
+	recGaGen    = "ga_gen"   // ga_search generation checkpoint; carries per-individual outcomes
 )
 
 // journalMaxRecord bounds a single frame's payload so a corrupted
@@ -93,6 +94,10 @@ type JournalRecord struct {
 	Result   *JobResult      `json:"result,omitempty"`
 	Error    string          `json:"error,omitempty"`
 	Lease    *api.LeaseEvent `json:"lease,omitempty"`
+	// Ga is a ga_search job's completed-generation record (recGaGen):
+	// the per-individual outcomes the GA replays to resume a search
+	// bit-identically after a crash.
+	Ga *GaGenRecord `json:"ga,omitempty"`
 }
 
 // Journal is an append-only crc32c-framed log with group-commit fsync

@@ -153,6 +153,12 @@ type Queue struct {
 
 	running map[string]*runningJob
 	timers  map[string]*time.Timer
+	// gaGens holds each running ga_search job's journaled generation
+	// records, replayed into the executor on (re)start so a search
+	// resumes from its last completed generation. Populated by
+	// recordGaGen and by recovery (journal replay + checkpoint GaGens);
+	// cleared on the job's terminal transition.
+	gaGens map[string][]GaGenRecord
 
 	failStreak  int       // consecutive terminal failures, guarded by mu
 	breakerOpen time.Time // workers pause until this instant, guarded by mu
@@ -205,6 +211,7 @@ func NewQueue(opts QueueOptions) *Queue {
 		submitIDs: make(map[string]string),
 		running:   make(map[string]*runningJob),
 		timers:    make(map[string]*time.Timer),
+		gaGens:    make(map[string][]GaGenRecord),
 		rng:       rand.New(rand.NewSource(1)),
 		work:      make(chan string, opts.MaxPending),
 		stop:      make(chan struct{}),
@@ -322,6 +329,24 @@ func (q *Queue) journal(rec JournalRecord, sync bool) {
 			Fields: map[string]any{"event": "journal_error", "error": err.Error()},
 		})
 	}
+}
+
+// recordGaGen durably records one completed ga_search generation: the
+// in-memory mirror first (so a checkpoint taken between the two always
+// covers what the journal is about to say), then a synced journal
+// append — the generation a client saw progress past must survive any
+// crash from here on. Only contiguous generations are accepted; a
+// stale executor racing a restart cannot corrupt the history.
+func (q *Queue) recordGaGen(id string, rec GaGenRecord) {
+	q.mu.Lock()
+	if len(q.gaGens[id]) != rec.Gen {
+		q.mu.Unlock()
+		return
+	}
+	q.gaGens[id] = append(q.gaGens[id], rec)
+	q.mu.Unlock()
+	r := rec
+	q.journal(JournalRecord{T: recGaGen, JobID: id, Ga: &r}, true)
 }
 
 // updateGaugesLocked refreshes the queue-depth gauges. Caller holds
@@ -529,6 +554,15 @@ func (q *Queue) run(id string) {
 	jctx, cancel := q.jobContext(j.Spec)
 	jctx = withJobID(jctx, id)
 	jctx = withTraceID(jctx, j.Spec.TraceID)
+	if j.Spec.Kind == JobGaSearch {
+		// Hand the GA executor its journaled generations and a durable
+		// append channel, so a restarted (or retried) search fast-forwards
+		// instead of re-evaluating.
+		jctx = withGaJournal(jctx, &gaJournal{
+			replay: append([]GaGenRecord(nil), q.gaGens[id]...),
+			record: func(rec GaGenRecord) { q.recordGaGen(id, rec) },
+		})
+	}
 	rj := &runningJob{cancel: cancel}
 	rj.touch()
 	// Chaos point: a job whose context is yanked mid-flight for no
@@ -631,6 +665,11 @@ func (q *Queue) run(id string) {
 	}
 	if j.State == JobFailed {
 		q.failStreakLocked()
+	}
+	if j.State == JobCompleted || j.State == JobFailed {
+		// A terminal GA job's generation history is dead weight: the
+		// result carries the trajectory, and resume no longer applies.
+		delete(q.gaGens, id)
 	}
 	snap = snapshotJob(j)
 	q.updateGaugesLocked()

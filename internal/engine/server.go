@@ -56,12 +56,19 @@ type ServerOptions struct {
 //	POST /v1/leases/{id}/result      upload a finished unit's bitmaps
 //	POST /v1/leases/{id}/fail        report a unit the worker could not finish
 //
-// The pre-/v1 job routes (POST/GET /jobs, GET /healthz, ...) remain as
-// thin aliases that answer identically plus a Deprecation header.
+// GET /v1/jobs supports cursor pagination (?limit=N&after=<job-id>)
+// and kind/state filters; the response's next_after field is the
+// cursor for the following page.
+//
+// The pre-/v1 job routes (POST/GET /jobs, GET /healthz, ...) — aliases
+// that shipped with a Deprecation header for several releases — have
+// been removed: they now answer 404 with a Link header
+// (rel="successor-version") pointing at the /v1 route.
 //
 // Error bodies are api.Error envelopes — {"code","message","retryable"}
 // plus a legacy "error" key for pre-/v1 clients. Submission answers 400
-// on a malformed spec, 422 on an unknown job or vector kind, and 503
+// on a malformed spec, 422 on an unknown job or vector kind or a
+// sub-spec that does not match the job kind (spec_mismatch), and 503
 // (with Retry-After) while draining or when the bounded queue is full.
 // Under ServerOptions the server also sheds excess concurrent load and
 // times out stuck requests, so a wedged campaign can not pile up
@@ -92,20 +99,21 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 		method, path, _ := splitPattern(pattern)
 		mux.HandleFunc(method+" "+api.Prefix+path, h)
 	}
-	// legacy registers the pre-/v1 alias: same handler, same body, plus
-	// the deprecation signal pointing clients at the /v1 route.
-	legacy := func(pattern string, h http.HandlerFunc) {
+	// legacy tombstones the removed pre-/v1 alias: 404 with a Link
+	// header naming the successor route. The aliases answered with a
+	// Deprecation header for several releases before removal.
+	legacy := func(pattern string) {
 		method, path, _ := splitPattern(pattern)
 		mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=%q", api.Prefix, path, "successor-version"))
-			h(w, r)
+			writeAPIErr(w, api.Errf(api.CodeNotFound, false,
+				"the unversioned %s route was removed; use %s%s", path, api.Prefix, path))
 		})
 	}
 	for _, route := range []struct {
 		pattern string
 		h       http.HandlerFunc
-		alias   bool
+		removed bool
 	}{
 		{"POST /jobs", s.submit, true},
 		{"GET /jobs", s.list, true},
@@ -120,8 +128,8 @@ func NewServerWith(q *Queue, opts ServerOptions) *Server {
 		{"POST /leases/{id}/fail", s.leaseFail, false},
 	} {
 		v1(route.pattern, route.h)
-		if route.alias {
-			legacy(route.pattern, route.h)
+		if route.removed {
+			legacy(route.pattern)
 		}
 	}
 	// Chaos point: a request that stalls while being handled (wedged
@@ -206,6 +214,10 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		// 422: same contract-mismatch family — the design ID does not
 		// resolve in this server's registry.
 		writeAPIErr(w, api.Errf(api.CodeUnknownDesign, false, "%v", err))
+	case errors.Is(err, api.ErrSpecMismatch):
+		// 422: the spec parsed but carries a sub-spec (matrix, online,
+		// ga) that does not belong to its kind.
+		writeAPIErr(w, api.Errf(api.CodeSpecMismatch, false, "%v", err))
 	case err != nil:
 		writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "%v", err))
 	default:
@@ -213,8 +225,72 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// list serves GET /v1/jobs: every job in submission order, with
+// optional kind/state filters and cursor pagination. The cursor
+// (?after=) is a job ID in the unfiltered submission order, so a page
+// boundary stays stable while new jobs arrive; next_after in the
+// response is the cursor for the following page and is absent on the
+// last one.
 func (s *Server) list(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, api.JobList{Jobs: s.q.Jobs()})
+	qp := r.URL.Query()
+	limit := 0
+	if v := qp.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	var kind api.JobKind
+	if v := qp.Get("kind"); v != "" {
+		kind = api.JobKind(v)
+		if !kind.Valid() {
+			writeAPIErr(w, api.Errf(api.CodeUnknownKind, false, "unknown job kind %q", v))
+			return
+		}
+	}
+	var state JobState
+	if v := qp.Get("state"); v != "" {
+		state = JobState(v)
+		switch state {
+		case JobQueued, JobRunning, JobCompleted, JobFailed:
+		default:
+			writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "unknown job state %q", v))
+			return
+		}
+	}
+	jobs := s.q.Jobs()
+	if after := qp.Get("after"); after != "" {
+		idx := -1
+		for i := range jobs {
+			if jobs[i].ID == after {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			writeAPIErr(w, api.Errf(api.CodeBadRequest, false, "unknown cursor %q", after))
+			return
+		}
+		jobs = jobs[idx+1:]
+	}
+	out := api.JobList{Jobs: []Job{}}
+	for i := range jobs {
+		if kind != "" && jobs[i].Spec.Kind != kind {
+			continue
+		}
+		if state != "" && jobs[i].State != state {
+			continue
+		}
+		if limit > 0 && len(out.Jobs) == limit {
+			// Another match exists beyond this page: hand out the cursor.
+			out.NextAfter = out.Jobs[len(out.Jobs)-1].ID
+			break
+		}
+		out.Jobs = append(out.Jobs, jobs[i])
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) get(w http.ResponseWriter, r *http.Request) {
@@ -265,7 +341,7 @@ func (s *Server) health(w http.ResponseWriter, r *http.Request) {
 // meta is the capabilities document: what this server speaks, so
 // clients and workers can verify compatibility before doing work.
 func (s *Server) meta(w http.ResponseWriter, r *http.Request) {
-	caps := []string{"jobs", "checkpoint", "metrics", "designs", "online"}
+	caps := []string{"jobs", "checkpoint", "metrics", "designs", "online", "ga", "list_pagination"}
 	if s.pool != nil {
 		caps = append(caps, "leases")
 	}

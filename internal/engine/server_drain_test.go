@@ -43,7 +43,7 @@ func TestServerDrainUnderLoad(t *testing.T) {
 					close(startDrain) // drain begins mid-barrage
 				}
 				body := []byte(`{"kind":"fault_sim","vectors":{"kind":"bist","count":10}}`)
-				resp, err := http.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+				resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
 				if err != nil {
 					t.Error(err)
 					return
@@ -123,14 +123,14 @@ func TestServerShedsLoad(t *testing.T) {
 	shedBefore := counter("sbstd.shed")
 	slow := make(chan error, 1)
 	go func() {
-		resp, err := http.Get(srv.URL + "/healthz")
+		resp, err := http.Get(srv.URL + "/v1/healthz")
 		if err == nil {
 			resp.Body.Close()
 		}
 		slow <- err
 	}()
 	time.Sleep(50 * time.Millisecond) // let the stalled request take the slot
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ func TestServerRequestTimeout(t *testing.T) {
 	defer srv.Close()
 
 	start := time.Now()
-	resp, err := http.Get(srv.URL + "/healthz")
+	resp, err := http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -41,7 +41,7 @@ func decode(t *testing.T, resp *http.Response, into any) {
 func TestServerJobLifecycle(t *testing.T) {
 	srv, _ := testServer(t, QueueOptions{Workers: 1})
 
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":512},"workers":2}`))
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func TestServerJobLifecycle(t *testing.T) {
 
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+		resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestServerJobLifecycle(t *testing.T) {
 		t.Fatalf("final progress %+v", job.Progress)
 	}
 
-	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID + "/result")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestServerJobLifecycle(t *testing.T) {
 	}
 
 	var list struct{ Jobs []Job }
-	resp, err = http.Get(srv.URL + "/jobs")
+	resp, err = http.Get(srv.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestServerJobLifecycle(t *testing.T) {
 		t.Fatalf("job list %+v", list.Jobs)
 	}
 
-	resp, err = http.Get(srv.URL + "/healthz")
+	resp, err = http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestServerErrorPaths(t *testing.T) {
 		{`{"kind":"fault_sim","vectors":{"kind":"bist"}}`, http.StatusBadRequest},
 		{`{"kind":"fault_sim","vectors":{"kind":"bist","count":10},"unknown_field":1}`, http.StatusBadRequest},
 	} {
-		resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestServerErrorPaths(t *testing.T) {
 			t.Fatalf("submit %q code %q, want unknown_kind", tc.body, envelope.Code)
 		}
 	}
-	for _, path := range []string{"/jobs/job-9999", "/jobs/job-9999/result"} {
+	for _, path := range []string{"/v1/jobs/job-9999", "/v1/jobs/job-9999/result"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -174,7 +174,7 @@ func TestServerResultNotReady(t *testing.T) {
 		},
 	})
 	defer close(release)
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -203,8 +203,8 @@ func TestServerResultNotReady(t *testing.T) {
 }
 
 // TestServerV1Surface: the versioned routes answer, /v1/meta documents
-// the contract, and the legacy aliases reply identically plus the
-// Deprecation header.
+// the contract, and the removed legacy aliases answer 404 with a Link
+// to the /v1 successor.
 func TestServerV1Surface(t *testing.T) {
 	srv, _ := testServer(t, QueueOptions{Workers: 1})
 
@@ -244,7 +244,7 @@ func TestServerV1Surface(t *testing.T) {
 		Designs      []string `json:"designs"`
 	}
 	decode(t, resp, &meta)
-	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 6 {
+	if meta.Service != "sbstd" || meta.APIVersion != "v1" || len(meta.JobKinds) != 7 {
 		t.Fatalf("meta %+v", meta)
 	}
 	if !slices.Contains(meta.Capabilities, "designs") {
@@ -254,21 +254,149 @@ func TestServerV1Surface(t *testing.T) {
 		t.Fatalf("meta designs %v lack the bundled IDs", meta.Designs)
 	}
 
-	// Legacy aliases keep answering, flagged deprecated.
+	// The unversioned aliases are gone: 404 with a Link header naming
+	// the successor route, and no Deprecation header (nothing left to
+	// deprecate).
 	for _, path := range []string{"/jobs", "/healthz"} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("legacy GET %s status %d", path, resp.StatusCode)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("removed legacy GET %s status %d, want 404", path, resp.StatusCode)
 		}
-		if resp.Header.Get("Deprecation") != "true" {
-			t.Fatalf("legacy GET %s lacks the Deprecation header", path)
+		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) || !strings.Contains(link, "successor-version") {
+			t.Fatalf("removed legacy GET %s Link header %q does not name the /v1 successor", path, link)
 		}
-		if link := resp.Header.Get("Link"); !strings.Contains(link, "/v1"+path) {
-			t.Fatalf("legacy GET %s Link header %q does not point at /v1", path, link)
+		if resp.Header.Get("Deprecation") != "" {
+			t.Fatalf("removed legacy GET %s still carries a Deprecation header", path)
+		}
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":32}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("removed legacy POST /jobs status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerSpecMismatch: a sub-spec on the wrong kind is a 422
+// spec_mismatch — the kind-safety half of the /v1 contract.
+func TestServerSpecMismatch(t *testing.T) {
+	srv, _ := testServer(t, QueueOptions{Workers: 1})
+
+	for _, body := range []string{
+		`{"kind":"fault_sim","vectors":{"kind":"bist","count":32},"ga":{"population":4}}`,
+		`{"kind":"fault_sim","vectors":{"kind":"bist","count":32},"online":{"intervals":2}}`,
+		`{"kind":"online_burst","ga":{"population":4}}`,
+		`{"kind":"ga_search","vectors":{"kind":"bist","count":32}}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Code      string `json:"code"`
+			Retryable bool   `json:"retryable"`
+		}
+		decode(t, resp, &envelope)
+		if resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Fatalf("submit %q status %d, want 422", body, resp.StatusCode)
+		}
+		if envelope.Code != "spec_mismatch" || envelope.Retryable {
+			t.Fatalf("submit %q envelope %+v, want non-retryable spec_mismatch", body, envelope)
+		}
+	}
+}
+
+// TestServerListPagination drives GET /v1/jobs cursor pagination and
+// the kind/state filters against a queue of parked jobs.
+func TestServerListPagination(t *testing.T) {
+	release := make(chan struct{})
+	srv, q := testServer(t, QueueOptions{
+		Workers: 1, MaxPending: 16,
+		Exec: func(ctx context.Context, spec JobSpec, update func(Progress)) (*JobResult, error) {
+			<-release
+			return &JobResult{}, nil
+		},
+	})
+	defer close(release)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		spec := JobSpec{Kind: JobFaultSim, Vectors: VectorSource{Kind: api.VecBIST, Count: 8}}
+		if i == 4 {
+			spec = JobSpec{Kind: JobGaSearch, Ga: &api.GaSpec{Population: 4}}
+		}
+		j, err := q.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+
+	page := func(query string) (api.JobList, int) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/v1/jobs" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var l api.JobList
+		code := resp.StatusCode
+		if code == http.StatusOK {
+			decode(t, resp, &l)
+		} else {
+			resp.Body.Close()
+		}
+		return l, code
+	}
+
+	// Walk in pages of 2: 2 + 2 + 1, stable submission order.
+	var walked []string
+	after := ""
+	for {
+		query := "?limit=2"
+		if after != "" {
+			query += "&after=" + after
+		}
+		l, code := page(query)
+		if code != http.StatusOK {
+			t.Fatalf("page %q status %d", query, code)
+		}
+		if len(l.Jobs) > 2 {
+			t.Fatalf("page %q has %d jobs, want <= 2", query, len(l.Jobs))
+		}
+		for _, j := range l.Jobs {
+			walked = append(walked, j.ID)
+		}
+		if l.NextAfter == "" {
+			break
+		}
+		after = l.NextAfter
+	}
+	if !slices.Equal(walked, ids) {
+		t.Fatalf("paged walk %v, want %v", walked, ids)
+	}
+
+	// Kind filter.
+	l, code := page("?kind=ga_search")
+	if code != http.StatusOK || len(l.Jobs) != 1 || l.Jobs[0].ID != ids[4] {
+		t.Fatalf("kind filter: code %d jobs %+v", code, l.Jobs)
+	}
+	if l.NextAfter != "" {
+		t.Fatalf("exhausted filter page has next_after %q", l.NextAfter)
+	}
+
+	// Bad inputs: unknown kind 422, bad state/limit/cursor 400.
+	if _, code := page("?kind=bogus"); code != http.StatusUnprocessableEntity {
+		t.Fatalf("unknown kind filter status %d, want 422", code)
+	}
+	for _, q := range []string{"?state=bogus", "?limit=x", "?limit=-1", "?after=job-9999"} {
+		if _, code := page(q); code != http.StatusBadRequest {
+			t.Fatalf("list %q status %d, want 400", q, code)
 		}
 	}
 }
@@ -444,7 +572,7 @@ func TestServerGracefulDrain(t *testing.T) {
 			return &JobResult{Coverage: 0.5}, nil
 		},
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -463,7 +591,7 @@ func TestServerGracefulDrain(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":64}}`))
 	if err != nil {
 		t.Fatal(err)
@@ -472,7 +600,7 @@ func TestServerGracefulDrain(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit during drain status %d, want 503", resp.StatusCode)
 	}
-	resp, err = http.Get(srv.URL + "/healthz")
+	resp, err = http.Get(srv.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -502,7 +630,7 @@ func TestServerRealFaultSimJob(t *testing.T) {
 		Workers: 1,
 		Exec:    NewExecutor(ExecConfig{Workers: 4}),
 	})
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"kind":"fault_sim","vectors":{"kind":"bist","count":1024,"seed":1},"workers":4}`))
 	if err != nil {
 		t.Fatal(err)
@@ -515,13 +643,13 @@ func TestServerRealFaultSimJob(t *testing.T) {
 			t.Fatalf("job state %s (error %q)", job.State, job.Error)
 		}
 		time.Sleep(50 * time.Millisecond)
-		resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+		resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID)
 		if err != nil {
 			t.Fatal(err)
 		}
 		decode(t, resp, &job)
 	}
-	resp, err = http.Get(srv.URL + "/jobs/" + job.ID + "/result")
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID + "/result")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,7 @@ package lfsr
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/obs"
 )
@@ -58,6 +59,80 @@ func SupportedWidths() []int {
 		}
 	}
 	return ws
+}
+
+// maximalCache memoizes MaximalTaps scans per width: the scan is a
+// brute-force period check (O(n · 2^width) steps), cheap enough for the
+// template widths but not worth repeating per search.
+var maximalCache struct {
+	sync.Mutex
+	byWidth map[int][]uint64
+}
+
+// MaximalTaps returns the first n tap masks (in a fixed, deterministic
+// order) that give a maximal-length sequence at the given width: the
+// built-in primitive polynomial first, then candidate masks in
+// increasing numeric order, each verified by stepping the register
+// through its full 2^width − 1 period. Only masks with the top stage
+// tapped are considered — that keeps the state update invertible, so
+// every trajectory is purely periodic and the check terminates. The
+// result is the ga_search polynomial gene pool: every entry is a
+// legitimate maximal-length LFSR1 feedback choice. Intended for small
+// widths (the scan is O(n · 2^width)); results are memoized.
+func MaximalTaps(width, n int) ([]uint64, error) {
+	if width < 2 || width > 24 {
+		return nil, fmt.Errorf("lfsr: MaximalTaps width %d out of range 2..24", width)
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("lfsr: MaximalTaps n %d <= 0", n)
+	}
+	maximalCache.Lock()
+	defer maximalCache.Unlock()
+	if maximalCache.byWidth == nil {
+		maximalCache.byWidth = make(map[int][]uint64)
+	}
+	cached := maximalCache.byWidth[width]
+	if len(cached) >= n {
+		return append([]uint64(nil), cached[:n]...), nil
+	}
+	found := cached
+	if len(found) == 0 {
+		if builtin, ok := primitiveTaps[width]; ok {
+			found = append(found, builtin)
+		}
+	}
+	top := uint64(1) << uint(width-1)
+	for mask := top; mask < top<<1 && len(found) < n; mask++ {
+		if len(found) > 0 && mask == found[0] {
+			continue // the built-in leads the list; don't repeat it
+		}
+		if isMaximal(width, mask) {
+			found = append(found, mask)
+		}
+	}
+	if len(found) < n {
+		return nil, fmt.Errorf("lfsr: width %d has only %d maximal tap masks with the top stage tapped, %d requested",
+			width, len(found), n)
+	}
+	maximalCache.byWidth[width] = found
+	return append([]uint64(nil), found[:n]...), nil
+}
+
+// isMaximal steps an LFSR with the given mask from seed 1 and reports
+// whether the seed recurs exactly at step 2^width − 1 and no earlier.
+func isMaximal(width int, taps uint64) bool {
+	l, err := NewWithTaps(width, taps, 1)
+	if err != nil {
+		return false
+	}
+	want := widthMask(width)
+	start := l.State()
+	for step := uint64(1); step <= want; step++ {
+		if l.Next() == start {
+			return step == want
+		}
+	}
+	return false
 }
 
 // LFSR is a Fibonacci linear feedback shift register of up to 64 bits.

@@ -147,3 +147,45 @@ func TestMISRLinear(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMaximalTaps(t *testing.T) {
+	// The ga_search taps pool: every polynomial returned must be
+	// genuinely maximal-length, the builtin must lead, and the list
+	// must be deterministic.
+	taps, err := MaximalTaps(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(taps) != 4 {
+		t.Fatalf("got %d taps, want 4", len(taps))
+	}
+	if taps[0] != 0xD008 {
+		t.Fatalf("pool does not lead with the builtin polynomial: %#x", taps[0])
+	}
+	seen := map[uint64]bool{}
+	for _, tp := range taps {
+		if seen[tp] {
+			t.Fatalf("duplicate polynomial %#x", tp)
+		}
+		seen[tp] = true
+		l, err := NewWithTaps(16, tp, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := l.Period(); p != (1<<16)-1 {
+			t.Fatalf("taps %#x: period %d, want %d", tp, p, (1<<16)-1)
+		}
+	}
+	again, err := MaximalTaps(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range taps {
+		if taps[i] != again[i] {
+			t.Fatalf("MaximalTaps not deterministic at %d: %#x vs %#x", i, taps[i], again[i])
+		}
+	}
+	if _, err := MaximalTaps(2, 1<<20); err == nil {
+		t.Fatal("impossible pool size did not error")
+	}
+}

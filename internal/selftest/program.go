@@ -67,6 +67,16 @@ type ExpandOptions struct {
 	// Seed1 and Seed2 seed LFSR1 (8-bit immediate data) and LFSR2
 	// (register-field mask). Zero seeds select the LFSR default.
 	Seed1, Seed2 uint64
+	// Taps1 overrides LFSR1's feedback polynomial (a 16-bit tap mask);
+	// zero keeps the built-in primitive polynomial. Evolved programs
+	// carry their polynomial gene here.
+	Taps1 uint64
+	// ReseedEvery, when > 0, reseeds LFSR1 at the top of every
+	// ReseedEvery-th loop iteration, cycling through Reseeds — the
+	// hybrid-BIST deterministic reseed schedule. Empty Reseeds disables
+	// reseeding.
+	ReseedEvery int
+	Reseeds     []uint64
 	// DisableRegMask turns off LFSR2 register rotation (ablation).
 	DisableRegMask bool
 }
@@ -76,13 +86,26 @@ type ExpandOptions struct {
 // core would receive, ready for fault simulation (one 17-bit word per
 // cycle, packed for fault.Vectors).
 func Expand(p *Program, opts ExpandOptions) fault.Vectors {
-	l1 := lfsr.MustNew(16, opts.Seed1|1)
+	var l1 *lfsr.LFSR
+	if opts.Taps1 != 0 {
+		var err error
+		if l1, err = lfsr.NewWithTaps(16, opts.Taps1, opts.Seed1|1); err != nil {
+			panic(fmt.Sprintf("selftest: bad LFSR1 taps %#x: %v", opts.Taps1, err))
+		}
+	} else {
+		l1 = lfsr.MustNew(16, opts.Seed1|1)
+	}
 	l2 := lfsr.MustNew(12, opts.Seed2|1)
 	vecs := make(fault.Vectors, 0, len(p.Once)+opts.Iterations*len(p.Loop))
 	for _, in := range p.Once {
 		vecs = append(vecs, uint64(instantiate(in, l1, 0)))
 	}
+	reseed := 0
 	for it := 0; it < opts.Iterations; it++ {
+		if opts.ReseedEvery > 0 && len(opts.Reseeds) > 0 && it > 0 && it%opts.ReseedEvery == 0 {
+			l1.Reseed(opts.Reseeds[reseed%len(opts.Reseeds)])
+			reseed++
+		}
 		mask := uint8(0)
 		if !opts.DisableRegMask {
 			mask = uint8(l2.Next() & 0xF)

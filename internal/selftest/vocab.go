@@ -1,0 +1,62 @@
+package selftest
+
+import "repro/internal/isa"
+
+// This file exports the generator's instruction vocabulary so external
+// searchers (internal/evolve) can compose programs from the same raw
+// material the metrics-driven generator draws on: the MAC-family and
+// random-load operations, the row destination pool, the randomization
+// preamble, and the delay-slot scheduler.
+
+// SlotOps returns the operations an evolved instruction slot may hold:
+// every MAC-family operation plus the template random-immediate load,
+// in a fixed order.
+func SlotOps() []isa.Op {
+	ops := []isa.Op{isa.OpLdRnd}
+	for _, op := range isa.Ops() {
+		if op.MacFamily() {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// SlotDests returns a copy of the generator's row destination pool —
+// the registers a covering instruction may write without colliding
+// with the preamble operands or Phase-2 sequence registers.
+func SlotDests() []uint8 {
+	return append([]uint8(nil), rowDests...)
+}
+
+// SlotSources returns the preamble-loaded operand registers a slot
+// instruction reads (RA, RB).
+func SlotSources() (ra, rb uint8) { return regOpA, regOpB }
+
+// Preamble returns a fresh copy of the randomization preamble every
+// generated loop starts with: pseudorandom operands in R0/R1/R14 and
+// both accumulators randomized with observed products.
+func Preamble() []isa.Instr {
+	lines := []struct{ text, comment string }{
+		{"LD RND,R0", "pseudorandom operand (LFSR1)"},
+		{"LD RND,R1", "pseudorandom operand (LFSR1)"},
+		{"LD RND,R14", "pseudorandom operand + load spacer"},
+		{"MPYB R0,R1,R2", "randomize accB"},
+		{"OUT R2", "wrapper: observe"},
+		{"MPYA R1,R14,R2", "randomize accA"},
+		{"OUT R2", "wrapper: observe"},
+	}
+	pre := make([]isa.Instr, 0, len(lines))
+	for _, l := range lines {
+		in := mustParse(l.text)
+		in.Comment = l.comment
+		pre = append(pre, in)
+	}
+	return pre
+}
+
+// FixHazards schedules a loop around the pipeline's exposed delay slot:
+// a NOP is inserted wherever an instruction reads a register written
+// exactly one cycle earlier (including across the loop wrap-around).
+func FixHazards(loop []isa.Instr) []isa.Instr {
+	return fixHazards(loop)
+}
